@@ -1,0 +1,263 @@
+// Package repro's benchmark harness: one benchmark per table row group
+// of the paper's evaluation (§5, Tables 1 and 2) plus protocol
+// micro-benchmarks. The table benchmarks run scaled-down workloads (the
+// full sweeps are cmd/table1 and cmd/table2) and report the simulated
+// metrics — simulated seconds ("sim-s"), messages, and megabytes — as
+// custom benchmark metrics alongside the real Go run time.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/moldyn"
+	"repro/internal/apps/nbf"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/rsd"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+	"repro/internal/vm"
+)
+
+// report attaches the simulated metrics to the benchmark output.
+func report(b *testing.B, r *apps.Result) {
+	b.ReportMetric(r.TimeSec, "sim-s")
+	b.ReportMetric(float64(r.Messages), "sim-msgs")
+	b.ReportMetric(r.DataMB, "sim-MB")
+}
+
+// --- Table 1: moldyn (benchmarks per system at update interval 20,
+// plus the update-frequency rows for the optimized system) ---
+
+func moldynParams(update int) moldyn.Params {
+	p := moldyn.DefaultParams(512, 8)
+	p.Steps = 20
+	p.UpdateEvery = update
+	return p
+}
+
+func BenchmarkTable1MoldynSequential(b *testing.B) {
+	w := moldyn.Generate(moldynParams(10))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = moldyn.RunSequential(w)
+	}
+	report(b, r)
+}
+
+func BenchmarkTable1MoldynChaos(b *testing.B) {
+	w := moldyn.Generate(moldynParams(10))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = moldyn.RunChaos(w)
+	}
+	report(b, r)
+}
+
+func BenchmarkTable1MoldynTmkBase(b *testing.B) {
+	w := moldyn.Generate(moldynParams(10))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = moldyn.RunTmk(w, moldyn.TmkOptions{})
+	}
+	report(b, r)
+}
+
+func BenchmarkTable1MoldynTmkOpt(b *testing.B) {
+	w := moldyn.Generate(moldynParams(10))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = moldyn.RunTmk(w, moldyn.TmkOptions{Optimized: true})
+	}
+	report(b, r)
+}
+
+func BenchmarkTable1MoldynTmkOptUpdate5(b *testing.B) {
+	w := moldyn.Generate(moldynParams(5))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = moldyn.RunTmk(w, moldyn.TmkOptions{Optimized: true})
+	}
+	report(b, r)
+}
+
+// --- Table 2: nbf ---
+
+func nbfParams(n int) nbf.Params {
+	p := nbf.DefaultParams(n, 8)
+	p.Steps = 10
+	p.Partners = 50
+	return p
+}
+
+func BenchmarkTable2NBFSequential(b *testing.B) {
+	w := nbf.Generate(nbfParams(4 * 1024))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = nbf.RunSequential(w)
+	}
+	report(b, r)
+}
+
+func BenchmarkTable2NBFChaos(b *testing.B) {
+	w := nbf.Generate(nbfParams(4 * 1024))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = nbf.RunChaos(w)
+	}
+	report(b, r)
+}
+
+func BenchmarkTable2NBFTmkBase(b *testing.B) {
+	w := nbf.Generate(nbfParams(4 * 1024))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = nbf.RunTmk(w, nbf.TmkOptions{})
+	}
+	report(b, r)
+}
+
+func BenchmarkTable2NBFTmkOpt(b *testing.B) {
+	w := nbf.Generate(nbfParams(4 * 1024))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = nbf.RunTmk(w, nbf.TmkOptions{Optimized: true})
+	}
+	report(b, r)
+}
+
+func BenchmarkTable2NBFTmkOptFalseSharing(b *testing.B) {
+	w := nbf.Generate(nbfParams(4 * 1000)) // misaligned: the 64x1000 analogue
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = nbf.RunTmk(w, nbf.TmkOptions{Optimized: true})
+	}
+	report(b, r)
+}
+
+// --- Protocol micro-benchmarks ---
+
+// BenchmarkValidateRevalidate measures the fast path: the indirection
+// array is unchanged, so Validate only re-checks the cached schedule.
+func BenchmarkValidateRevalidate(b *testing.B) {
+	cl := sim.NewCluster(sim.DefaultConfig(2))
+	d := tmk.New(cl, 4096, 1<<22)
+	data := &core.Array{Name: "d", Base: d.Alloc(8 * 4096), ElemSize: 8, Len: 4096}
+	idx := &core.Array{Name: "i", Base: d.Alloc(4 * 4096), ElemSize: 4, Len: 4096}
+	s0 := d.Node(0).Space()
+	for i := 0; i < 4096; i++ {
+		s0.WriteI32(idx.Addr(i), int32(i*7%4096))
+	}
+	d.SealInit()
+	rt := core.NewRuntime(d.Node(0))
+	desc := core.Desc{Type: core.Indirect, Data: data, Indir: idx,
+		Section: rsd.Range1(0, 4095), Access: core.Read, Sched: 1}
+	rt.Validate(desc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Validate(desc)
+	}
+}
+
+// BenchmarkPageFaultFetch measures the base system's demand-fetch path:
+// invalidate-and-refetch of a single page.
+func BenchmarkPageFaultFetch(b *testing.B) {
+	cl := sim.NewCluster(sim.DefaultConfig(2))
+	d := tmk.New(cl, 4096, 1<<22)
+	addr := d.Alloc(8 * 512)
+	d.SealInit()
+	b.ResetTimer()
+	cl.Run(func(p *sim.Proc) {
+		n := d.Node(p.ID())
+		for i := 0; i < b.N; i++ {
+			if p.ID() == 0 {
+				n.Space().WriteF64(addr, float64(i))
+			}
+			n.Barrier(1)
+			if p.ID() == 1 {
+				_ = n.Space().ReadF64(addr) // fault + diff fetch
+			}
+			n.Barrier(2)
+		}
+	})
+}
+
+// BenchmarkBarrier8 measures the 8-processor barrier round.
+func BenchmarkBarrier8(b *testing.B) {
+	cl := sim.NewCluster(sim.DefaultConfig(8))
+	d := tmk.New(cl, 4096, 1<<20)
+	d.SealInit()
+	b.ResetTimer()
+	cl.Run(func(p *sim.Proc) {
+		n := d.Node(p.ID())
+		for i := 0; i < b.N; i++ {
+			n.Barrier(1)
+		}
+	})
+}
+
+// BenchmarkInspector measures one CHAOS inspector execution.
+func BenchmarkInspector(b *testing.B) {
+	part := chaos.Block(8192, 8)
+	tt := chaos.NewTransTable(part, chaos.Replicated)
+	globals := make([]int, 64*1024)
+	for i := range globals {
+		globals[i] = (i * 31) % 8192
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := sim.NewCluster(sim.DefaultConfig(8))
+		cl.Run(func(p *sim.Proc) {
+			chaos.Inspect(p, i, globals, tt, chaos.DefaultInspectorCost())
+		})
+	}
+}
+
+// BenchmarkRCB measures the recursive coordinate bisection partitioner.
+func BenchmarkRCB(b *testing.B) {
+	w := moldyn.Generate(moldyn.DefaultParams(4096, 8))
+	coords := moldyn.Coords(w.X0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chaos.RCB(coords, 8)
+	}
+}
+
+// BenchmarkInteractionRebuild measures the paper-era O(N^2) list build.
+func BenchmarkInteractionRebuild(b *testing.B) {
+	p := moldyn.DefaultParams(1024, 8)
+	w := moldyn.Generate(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		moldyn.BuildPairs(&w.P, w.L, w.X0)
+	}
+}
+
+// BenchmarkTwinAndDiff measures the multiple-writer machinery end to
+// end: write-fault twin creation, interval close with diff encoding, and
+// remote application.
+func BenchmarkTwinAndDiff(b *testing.B) {
+	cl := sim.NewCluster(sim.DefaultConfig(2))
+	d := tmk.New(cl, 4096, 1<<22)
+	addr := d.Alloc(4096 * 4)
+	d.SealInit()
+	b.ResetTimer()
+	cl.Run(func(p *sim.Proc) {
+		n := d.Node(p.ID())
+		for i := 0; i < b.N; i++ {
+			if p.ID() == 0 {
+				for pg := 0; pg < 4; pg++ {
+					n.Space().WriteF64(addr+vm.Addr(4096*pg+8*(i%64)), float64(i))
+				}
+			}
+			n.Barrier(1)
+			if p.ID() == 1 {
+				for pg := 0; pg < 4; pg++ {
+					_ = n.Space().ReadF64(addr + vm.Addr(4096*pg))
+				}
+			}
+			n.Barrier(2)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+// Quickstart: the smallest complete program against the DSM API.
+//
+// It builds a 4-processor cluster, allocates a shared array and an
+// indirection array, and shows the paper's core mechanism end to end:
+// processor 0 updates the data, and processor 1 — instead of taking one
+// page fault per page in its irregular traversal — issues a single
+// Validate call that scans its section of the indirection array,
+// computes the page set, and prefetches all the diffs in one aggregated
+// exchange per remote processor.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rsd"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+	"repro/internal/vm"
+)
+
+func main() {
+	const (
+		nprocs  = 4
+		nData   = 4096 // shared float64 cells
+		nIdx    = 1024 // indirection entries per processor
+		pageLen = 4096
+	)
+
+	// A simulated 4-processor cluster and a TreadMarks DSM over it.
+	cluster := sim.NewCluster(sim.DefaultConfig(nprocs))
+	dsm := tmk.New(cluster, pageLen, 1<<22)
+
+	// Shared arrays: data (float64) and an indirection array (int32).
+	data := &core.Array{Name: "data", Base: dsm.Alloc(8 * nData), ElemSize: 8, Len: nData}
+	index := &core.Array{Name: "index", Base: dsm.Alloc(4 * nIdx * nprocs), ElemSize: 4, Len: nIdx * nprocs}
+
+	// Initialization (untimed, on processor 0): data[i] = i, and each
+	// processor's index section strides irregularly through data.
+	s0 := dsm.Node(0).Space()
+	for i := 0; i < nData; i++ {
+		s0.WriteF64(data.Addr(i), float64(i))
+	}
+	for i := 0; i < nIdx*nprocs; i++ {
+		s0.WriteI32(index.Addr(i), int32((i*2654435761)%nData))
+	}
+	dsm.SealInit()
+
+	cluster.Run(func(p *sim.Proc) {
+		me := p.ID()
+		node := dsm.Node(me)
+		space := node.Space()
+		rt := core.NewRuntime(node)
+
+		// Processor 0 updates every data page; the others will need
+		// those updates for their irregular reads.
+		if me == 0 {
+			for i := 0; i < nData; i += 64 {
+				space.WriteF64(data.Addr(i), float64(-i))
+			}
+		}
+		node.Barrier(1)
+
+		// The compiler-inserted call (here written by hand): one
+		// INDIRECT descriptor naming the section of the indirection
+		// array this processor scans.
+		lo, hi := me*nIdx, (me+1)*nIdx-1
+		rt.Validate(core.Desc{
+			Type: core.Indirect, Data: data, Indir: index,
+			Section: rsd.Range1(lo, hi),
+			Access:  core.Read, Sched: 1,
+		})
+
+		// The irregular loop now runs without a single page fault.
+		before := space.ReadFaults
+		sum := 0.0
+		for k := lo; k <= hi; k++ {
+			j := int(space.ReadI32(index.Addr(k)))
+			sum += space.ReadF64(data.Addr(j))
+		}
+		fmt.Printf("proc %d: sum=%14.1f   faults during loop: %d\n",
+			me, sum, space.ReadFaults-before)
+		node.Barrier(2)
+	})
+
+	msgs, bytes := cluster.Stats.Totals()
+	fmt.Printf("\ntotal traffic: %d messages, %d bytes\n", msgs, bytes)
+	fmt.Printf("simulated time: %.3f ms\n", cluster.MaxTime()/1e3)
+	fmt.Println("\nper-category traffic:")
+	fmt.Print(cluster.Stats.String())
+	_ = vm.Addr(0)
+}

@@ -1,0 +1,188 @@
+// Package apps holds shared infrastructure for the paper's two
+// applications (moldyn and nbf): the result record every backend
+// produces, the measurement window helper, and the quantized arithmetic
+// that makes all four backends (sequential, base TreadMarks, optimized
+// TreadMarks, CHAOS) produce bit-identical trajectories so correctness
+// can be asserted exactly.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Grid is the position lattice: all coordinates are kept on multiples of
+// 1/Grid. Together with the power-of-two time step this makes every
+// floating-point operation in the force computation exact, so force
+// accumulation is associative and parallel decompositions produce
+// bit-identical results to the sequential code. (The physics is toy, but
+// the data-access structure — what the paper measures — is unchanged.)
+const Grid = 1 << 16
+
+// Dt is the integration step scale, a power of two so multiplication is
+// exact.
+const Dt = 1.0 / (1 << 12)
+
+// Q quantizes v onto the position lattice.
+func Q(v float64) float64 {
+	return math.Round(v*Grid) / Grid
+}
+
+// Wrap applies periodic boundary conditions to a lattice coordinate
+// (exact: L is itself on the lattice).
+func Wrap(v, l float64) float64 {
+	for v >= l {
+		v -= l
+	}
+	for v < 0 {
+		v += l
+	}
+	return v
+}
+
+// MinImage returns the minimum-image displacement for a periodic box of
+// side l (exact for lattice values).
+func MinImage(d, l float64) float64 {
+	if d > l/2 {
+		return d - l
+	}
+	if d < -l/2 {
+		return d + l
+	}
+	return d
+}
+
+// Result is what one backend run reports.
+type Result struct {
+	System   string  // "seq", "tmk", "tmk-opt", "chaos"
+	TimeSec  float64 // simulated execution time of the measured window
+	Speedup  float64 // filled by the harness: seq time / TimeSec
+	Messages int64
+	DataMB   float64
+	// Detail carries named sub-measurements (seconds unless noted), e.g.
+	// "inspector_s", "scan_s", and per-category traffic.
+	Detail map[string]float64
+
+	// Final state for verification (global element order).
+	Forces []float64
+	X      []float64
+}
+
+// AddDetail accumulates a named detail value.
+func (r *Result) AddDetail(key string, v float64) {
+	if r.Detail == nil {
+		r.Detail = map[string]float64{}
+	}
+	r.Detail[key] += v
+}
+
+// VerifyEqual checks two backends produced bit-identical final state.
+func VerifyEqual(a, b *Result) error {
+	if len(a.Forces) != len(b.Forces) || len(a.X) != len(b.X) {
+		return fmt.Errorf("%s vs %s: state length mismatch", a.System, b.System)
+	}
+	for i := range a.Forces {
+		if a.Forces[i] != b.Forces[i] {
+			return fmt.Errorf("%s vs %s: forces[%d] = %v vs %v",
+				a.System, b.System, i, a.Forces[i], b.Forces[i])
+		}
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			return fmt.Errorf("%s vs %s: x[%d] = %v vs %v",
+				a.System, b.System, i, a.X[i], b.X[i])
+		}
+	}
+	return nil
+}
+
+// Measure delimits the timed window of a run (the paper excludes
+// initialization everywhere and, for nbf, the first iteration). Start
+// and End are collective; the statistics snapshot is taken inside the
+// barrier's combine step so it is consistent across processors.
+type Measure struct {
+	c         *sim.Cluster
+	startID   int
+	endID     int
+	startTime []float64
+	endTime   []float64
+	startCats map[string]sim.CatStat
+	endCats   map[string]sim.CatStat
+}
+
+// NewMeasure prepares a measurement window over the cluster.
+func NewMeasure(c *sim.Cluster) *Measure {
+	return &Measure{
+		c:         c,
+		startID:   sim.UniqueBarrierID(),
+		endID:     sim.UniqueBarrierID(),
+		startTime: make([]float64, c.NProcs()),
+		endTime:   make([]float64, c.NProcs()),
+	}
+}
+
+// Start opens the window. All processors must call it. The snapshot is
+// taken inside the barrier's combine step: with every processor blocked
+// in the barrier no requests are in flight, so clocks, interrupt
+// aggregates, and traffic counters are quiescent and the measurement is
+// deterministic.
+func (m *Measure) Start(p *sim.Proc) {
+	p.BarrierExchange(m.startID, nil, 0, func(contrib []any) ([]any, []int, float64) {
+		m.startCats = m.c.Stats.Categories()
+		for i := 0; i < m.c.NProcs(); i++ {
+			m.startTime[i] = m.c.Proc(i).Time()
+		}
+		return nil, nil, 0
+	})
+}
+
+// End closes the window. All processors must call it.
+func (m *Measure) End(p *sim.Proc) {
+	p.BarrierExchange(m.endID, nil, 0, func(contrib []any) ([]any, []int, float64) {
+		m.endCats = m.c.Stats.Categories()
+		for i := 0; i < m.c.NProcs(); i++ {
+			m.endTime[i] = m.c.Proc(i).Time()
+		}
+		return nil, nil, 0
+	})
+}
+
+// TimeSec returns the window's makespan in (simulated) seconds.
+func (m *Measure) TimeSec() float64 {
+	worst := 0.0
+	for i := range m.startTime {
+		if d := m.endTime[i] - m.startTime[i]; d > worst {
+			worst = d
+		}
+	}
+	return worst / 1e6
+}
+
+// Traffic returns total messages and megabytes within the window.
+func (m *Measure) Traffic() (msgs int64, dataMB float64) {
+	var bytes int64
+	for k, end := range m.endCats {
+		start := m.startCats[k]
+		msgs += end.Messages - start.Messages
+		bytes += end.Bytes - start.Bytes
+	}
+	return msgs, float64(bytes) / 1e6
+}
+
+// Categories returns the per-category traffic within the window.
+func (m *Measure) Categories() map[string]sim.CatStat {
+	out := map[string]sim.CatStat{}
+	for k, end := range m.endCats {
+		start := m.startCats[k]
+		d := sim.CatStat{
+			Messages: end.Messages - start.Messages,
+			Bytes:    end.Bytes - start.Bytes,
+		}
+		if d.Messages != 0 || d.Bytes != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}

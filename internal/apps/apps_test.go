@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestQIsIdempotentAndOnLattice(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.Abs(v) > 1e12 {
+			return true
+		}
+		q := Q(v)
+		return Q(q) == q && q*Grid == math.Round(q*Grid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatticeArithmeticIsExact(t *testing.T) {
+	// The foundation of cross-backend bit-exact verification: sums of
+	// lattice values within range are exact, hence order-independent.
+	f := func(raw [8]int32) bool {
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r%(1<<20)) / Grid
+		}
+		fwd := 0.0
+		for _, v := range vals {
+			fwd += v
+		}
+		rev := 0.0
+		for i := len(vals) - 1; i >= 0; i-- {
+			rev += vals[i]
+		}
+		return fwd == rev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	l := Q(64.0)
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{63.5, 63.5},
+		{64, 0},
+		{65, 1},
+		{-1, 63},
+		{-65, 63},
+	}
+	for _, c := range cases {
+		if got := Wrap(Q(c.in), l); got != Q(c.want) {
+			t.Errorf("Wrap(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	l := 64.0
+	if MinImage(40, l) != 40-64 {
+		t.Error("positive wrap")
+	}
+	if MinImage(-40, l) != -40+64 {
+		t.Error("negative wrap")
+	}
+	if MinImage(10, l) != 10 {
+		t.Error("identity")
+	}
+	// |result| <= l/2 for any displacement within one box length (the
+	// only case positions in [0, l) can produce).
+	f := func(raw int32) bool {
+		d := float64(raw%(1<<15)) / 512 // (-64, 64)
+		r := MinImage(d, l)
+		return math.Abs(r) <= l/2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyEqual(t *testing.T) {
+	a := &Result{System: "a", Forces: []float64{1, 2}, X: []float64{3}}
+	b := &Result{System: "b", Forces: []float64{1, 2}, X: []float64{3}}
+	if err := VerifyEqual(a, b); err != nil {
+		t.Fatalf("equal results rejected: %v", err)
+	}
+	b.Forces[1] = 99
+	if err := VerifyEqual(a, b); err == nil {
+		t.Fatal("mismatch not detected")
+	}
+	c := &Result{System: "c", Forces: []float64{1}, X: []float64{3}}
+	if err := VerifyEqual(a, c); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestAddDetail(t *testing.T) {
+	r := &Result{}
+	r.AddDetail("k", 1.5)
+	r.AddDetail("k", 0.5)
+	if r.Detail["k"] != 2.0 {
+		t.Fatalf("detail = %v", r.Detail["k"])
+	}
+}
+
+func TestMeasureWindow(t *testing.T) {
+	c := sim.NewCluster(sim.DefaultConfig(4))
+	m := NewMeasure(c)
+	c.Run(func(p *sim.Proc) {
+		p.Advance(100) // warmup: excluded
+		m.Start(p)
+		p.Advance(float64(50 * (p.ID() + 1))) // slowest: 200
+		if p.ID() == 0 {
+			p.Send(1, "x", 0, nil, 1000)
+		}
+		if p.ID() == 1 {
+			p.Recv("x", 0)
+		}
+		m.End(p)
+		p.Advance(999) // after window: excluded
+	})
+	sec := m.TimeSec()
+	// Slowest proc computes 200us; the window also carries the message
+	// latency+transfer and barrier arrival costs, but not the warmup or
+	// the post-window work.
+	if sec < 200e-6 || sec > 600e-6 {
+		t.Fatalf("window = %v s, want ~200-600us", sec)
+	}
+	// The window's own boundary barriers leak 2*(N-1) messages into the
+	// window (release legs of Start, arrival legs of End); the payload
+	// message must be there exactly once.
+	msgs, mb := m.Traffic()
+	cats := m.Categories()
+	if cats["x"].Messages != 1 {
+		t.Fatalf("payload msgs = %d, want 1 (all: %v)", cats["x"].Messages, cats)
+	}
+	if msgs != 1+2*3 {
+		t.Fatalf("window msgs = %d, want 7 (payload + barrier legs)", msgs)
+	}
+	if mb <= 0 {
+		t.Fatal("window bytes missing")
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	run := func() float64 {
+		c := sim.NewCluster(sim.DefaultConfig(8))
+		m := NewMeasure(c)
+		c.Run(func(p *sim.Proc) {
+			m.Start(p)
+			p.Advance(float64(p.ID()) * 7.3)
+			m.End(p)
+		})
+		return m.TimeSec()
+	}
+	a := run()
+	for i := 0; i < 5; i++ {
+		if b := run(); b != a {
+			t.Fatalf("nondeterministic window: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// The CHAOS backend for nbf (§5.2): the inspector runs once at program
+// start (outside the timed steps); each time step gathers the updated
+// coordinates, computes into local (owned + ghost) force slots, and
+// scatter-adds the contributions back.
+package nbf
+
+import (
+	"repro/internal/apps"
+	"repro/internal/chaos"
+	"repro/internal/sim"
+)
+
+// RunChaos executes nbf with the inspector-executor library.
+func RunChaos(w *Workload) *apps.Result {
+	p := w.P
+	nprocs := p.Procs
+	n := p.N
+	cost := p.Costs
+	icost := p.Inspector
+	ecost := chaos.DefaultExecutorCost()
+
+	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	part := chaos.Block(n, nprocs)
+	tt := chaos.NewTransTable(part, p.TableKind)
+	counts := part.Counts()
+
+	res := &apps.Result{System: "chaos"}
+	meas := apps.NewMeasure(cl)
+	inspectorSec := make([]float64, nprocs)
+	finalX := make([][]float64, nprocs)
+	finalF := make([][]float64, nprocs)
+
+	cl.Run(func(proc *sim.Proc) {
+		me := proc.ID()
+		own := counts[me]
+		mlo, mhi := chaos.BlockRange(n, nprocs, me)
+
+		// Inspector: called once, at the beginning of the program.
+		t0 := proc.Clock()
+		globals := make([]int, 0, (mhi-mlo)*(p.Partners+1))
+		for i := mlo; i < mhi; i++ {
+			globals = append(globals, i)
+			for k := 0; k < p.Partners; k++ {
+				globals = append(globals, int(w.Partners[i*p.Partners+k]))
+			}
+		}
+		sch := chaos.Inspect(proc, 0, globals, tt, icost)
+		inspectorSec[me] = (proc.Clock() - t0) / 1e6
+
+		slots := own + sch.Ghosts
+		xLoc := make([]float64, slots)
+		fLoc := make([]float64, slots)
+		for i := mlo; i < mhi; i++ {
+			xLoc[sch.LocalOf(i)] = w.X0[i]
+		}
+
+		tag := 0
+		for step := 0; step <= p.Steps; step++ {
+			if step == 1 {
+				meas.Start(proc)
+			}
+			tag++
+			chaos.Gather(proc, tag, sch, xLoc, 1, ecost)
+			for i := range fLoc {
+				fLoc[i] = 0
+			}
+			proc.Advance(cost.ZeroUSPerElem * float64(slots))
+			for i := mlo; i < mhi; i++ {
+				li := int(sch.LocalOf(i))
+				xi := xLoc[li]
+				for k := 0; k < p.Partners; k++ {
+					j := int(w.Partners[i*p.Partners+k])
+					lj := int(sch.LocalOf(j))
+					f := force(xi, xLoc[lj], w.L)
+					fLoc[li] += f
+					fLoc[lj] -= f
+				}
+			}
+			proc.Advance(cost.InteractionUS * float64((mhi-mlo)*p.Partners))
+			tag++
+			chaos.ScatterAdd(proc, tag, sch, fLoc, 1, ecost)
+			for i := mlo; i < mhi; i++ {
+				li := int(sch.LocalOf(i))
+				xLoc[li] = integrate(xLoc[li], fLoc[li], w.Drift[i], w.L)
+			}
+			proc.Advance(cost.IntegrateUSPerMol * float64(mhi-mlo))
+		}
+		meas.End(proc)
+		finalX[me] = xLoc[:own]
+		finalF[me] = fLoc[:own]
+	})
+
+	res.TimeSec = meas.TimeSec()
+	res.Messages, res.DataMB = meas.Traffic()
+	for k, v := range meas.Categories() {
+		res.AddDetail("msgs."+k, float64(v.Messages))
+		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)
+	}
+	worst := 0.0
+	for _, s := range inspectorSec {
+		if s > worst {
+			worst = s
+		}
+	}
+	res.AddDetail("inspector_s", worst)
+
+	// Assemble global state (block partition: local offsets are dense in
+	// global order).
+	res.X = make([]float64, n)
+	res.Forces = make([]float64, n)
+	for pr := 0; pr < nprocs; pr++ {
+		lo, _ := chaos.BlockRange(n, nprocs, pr)
+		copy(res.X[lo:], finalX[pr])
+		copy(res.Forces[lo:], finalF[pr])
+	}
+	return res
+}

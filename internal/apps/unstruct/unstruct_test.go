@@ -1,0 +1,120 @@
+package unstruct
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func testParams(nodes, procs, steps int) Params {
+	p := DefaultParams(nodes, procs)
+	p.Steps = steps
+	p.PageSize = 1024
+	return p
+}
+
+func TestMeshGeneration(t *testing.T) {
+	w := Generate(testParams(512, 4, 2))
+	if len(w.Edges) == 0 {
+		t.Fatal("no edges")
+	}
+	seen := map[[2]int32]bool{}
+	for _, e := range w.Edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not ordered", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+		if int(e[1]) >= w.P.Nodes {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+	// Degrees must be irregular (that is the point of the app).
+	deg := make([]int, w.P.Nodes)
+	for _, e := range w.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	minD, maxD := deg[0], deg[0]
+	for _, d := range deg {
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == minD {
+		t.Fatal("mesh is regular")
+	}
+}
+
+func TestMeshDeterministic(t *testing.T) {
+	a := Generate(testParams(256, 2, 1))
+	b := Generate(testParams(256, 2, 1))
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}
+
+func runAll(t *testing.T, p Params) map[string]*apps.Result {
+	t.Helper()
+	w := Generate(p)
+	seq := RunSequential(w)
+	base := RunTmk(w, TmkOptions{})
+	opt := RunTmk(w, TmkOptions{Optimized: true})
+	ch := RunChaos(w)
+	for _, r := range []*apps.Result{base, opt, ch} {
+		if err := apps.VerifyEqual(seq, r); err != nil {
+			t.Fatalf("%s diverges: %v", r.System, err)
+		}
+	}
+	return map[string]*apps.Result{"seq": seq, "tmk": base, "tmk-opt": opt, "chaos": ch}
+}
+
+func TestAllBackendsAgree(t *testing.T) {
+	runAll(t, testParams(512, 4, 3))
+}
+
+func TestAllBackendsAgreeEightProcs(t *testing.T) {
+	runAll(t, testParams(768, 8, 3))
+}
+
+func TestOptimizedBeatsBase(t *testing.T) {
+	rs := runAll(t, testParams(1024, 4, 4))
+	if rs["tmk-opt"].Messages >= rs["tmk"].Messages {
+		t.Errorf("opt msgs %d not below base %d", rs["tmk-opt"].Messages, rs["tmk"].Messages)
+	}
+	if rs["tmk-opt"].TimeSec >= rs["tmk"].TimeSec {
+		t.Errorf("opt %.4fs not faster than base %.4fs", rs["tmk-opt"].TimeSec, rs["tmk"].TimeSec)
+	}
+}
+
+func TestStaticMeshValidatesOnce(t *testing.T) {
+	// The edge list never changes: after the warmup step the optimized
+	// runtime must not rescan it, so scan-heavy traffic must not grow
+	// with steps. Compare two run lengths.
+	short := RunTmk(Generate(testParams(512, 4, 2)), TmkOptions{Optimized: true})
+	long := RunTmk(Generate(testParams(512, 4, 8)), TmkOptions{Optimized: true})
+	perStepShort := float64(short.Messages) / 2
+	perStepLong := float64(long.Messages) / 8
+	// Steady-state per-step traffic should be comparable (within 2x),
+	// not dominated by re-scans.
+	if perStepLong > 2*perStepShort {
+		t.Errorf("per-step traffic grows: %.0f short vs %.0f long", perStepShort, perStepLong)
+	}
+}
+
+func TestInspectorReportedOnce(t *testing.T) {
+	r := RunChaos(Generate(testParams(512, 4, 3)))
+	if r.Detail["inspector_s"] <= 0 {
+		t.Fatal("inspector time missing")
+	}
+}

@@ -1,0 +1,194 @@
+// Package bench assembles the paper's evaluation tables (§5): it runs
+// the sequential, CHAOS, base-TreadMarks, and optimized-TreadMarks
+// backends over the configured workloads, verifies that all backends
+// produce bit-identical results, and formats rows exactly like Tables 1
+// and 2 (execution time, speedup, message count, data volume).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/apps/moldyn"
+	"repro/internal/apps/nbf"
+)
+
+// Row is one line of a results table.
+type Row struct {
+	Config   string
+	System   string
+	TimeSec  float64
+	Speedup  float64
+	Messages int64
+	DataMB   float64
+	Detail   map[string]float64
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title string
+	Rows  []Row
+}
+
+// String renders the table in the paper's layout.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-34s %-14s %10s %8s %10s %10s\n",
+		"Configuration", "System", "Time (s)", "Speedup", "Messages", "Data (MB)")
+	b.WriteString(strings.Repeat("-", 92) + "\n")
+	last := ""
+	for _, r := range t.Rows {
+		cfg := r.Config
+		if cfg == last {
+			cfg = ""
+		} else {
+			last = r.Config
+		}
+		fmt.Fprintf(&b, "%-34s %-14s %10.2f %8.2f %10d %10.1f\n",
+			cfg, r.System, r.TimeSec, r.Speedup, r.Messages, r.DataMB)
+	}
+	return b.String()
+}
+
+// DetailString renders the per-row named details (inspector/scan times,
+// per-category traffic).
+func (t *Table) DetailString() string {
+	var b strings.Builder
+	for _, r := range t.Rows {
+		if len(r.Detail) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s / %s:\n", r.Config, r.System)
+		keys := make([]string, 0, len(r.Detail))
+		for k := range r.Detail {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "    %-24s %12.4f\n", k, r.Detail[k])
+		}
+	}
+	return b.String()
+}
+
+// MoldynResults holds one moldyn configuration's verified backend runs.
+type MoldynResults struct {
+	Config string
+	Seq    *apps.Result
+	Chaos  *apps.Result
+	Base   *apps.Result
+	Opt    *apps.Result
+}
+
+// RunMoldyn executes all four backends for one configuration and
+// verifies bit-exact agreement.
+func RunMoldyn(p moldyn.Params) (*MoldynResults, error) {
+	w := moldyn.Generate(p)
+	seq := moldyn.RunSequential(w)
+	ch := moldyn.RunChaos(w)
+	base := moldyn.RunTmk(w, moldyn.TmkOptions{})
+	opt := moldyn.RunTmk(w, moldyn.TmkOptions{Optimized: true})
+	for _, r := range []*apps.Result{ch, base, opt} {
+		if err := apps.VerifyEqual(seq, r); err != nil {
+			return nil, fmt.Errorf("moldyn %s: %w", r.System, err)
+		}
+	}
+	cfg := fmt.Sprintf("Every %d iterations (seq = %.1f s)", p.UpdateEvery, seq.TimeSec)
+	fill(seq, []*apps.Result{ch, base, opt})
+	return &MoldynResults{Config: cfg, Seq: seq, Chaos: ch, Base: base, Opt: opt}, nil
+}
+
+// NBFResults holds one nbf configuration's verified backend runs.
+type NBFResults struct {
+	Config string
+	Seq    *apps.Result
+	Chaos  *apps.Result
+	Base   *apps.Result
+	Opt    *apps.Result
+}
+
+// RunNBF executes all four backends for one nbf problem size and
+// verifies bit-exact agreement.
+func RunNBF(p nbf.Params, label string) (*NBFResults, error) {
+	w := nbf.Generate(p)
+	seq := nbf.RunSequential(w)
+	ch := nbf.RunChaos(w)
+	base := nbf.RunTmk(w, nbf.TmkOptions{})
+	opt := nbf.RunTmk(w, nbf.TmkOptions{Optimized: true})
+	for _, r := range []*apps.Result{ch, base, opt} {
+		if err := apps.VerifyEqual(seq, r); err != nil {
+			return nil, fmt.Errorf("nbf %s: %w", r.System, err)
+		}
+	}
+	cfg := fmt.Sprintf("%s (seq = %.1f s)", label, seq.TimeSec)
+	fill(seq, []*apps.Result{ch, base, opt})
+	return &NBFResults{Config: cfg, Seq: seq, Chaos: ch, Base: base, Opt: opt}, nil
+}
+
+// fill computes speedups against the sequential run.
+func fill(seq *apps.Result, rs []*apps.Result) {
+	for _, r := range rs {
+		if r.TimeSec > 0 {
+			r.Speedup = seq.TimeSec / r.TimeSec
+		}
+	}
+}
+
+// rowsOf converts one configuration's results into table rows in the
+// paper's order (CHAOS, Tmk base, Tmk optimized).
+func rowsOf(cfg string, ch, base, opt *apps.Result) []Row {
+	mk := func(sys string, r *apps.Result) Row {
+		return Row{Config: cfg, System: sys, TimeSec: r.TimeSec, Speedup: r.Speedup,
+			Messages: r.Messages, DataMB: r.DataMB, Detail: r.Detail}
+	}
+	return []Row{mk("CHAOS", ch), mk("Tmk base", base), mk("Tmk optimized", opt)}
+}
+
+// Table1 reproduces the paper's Table 1: moldyn at 8 processors with the
+// interaction list updated at the given intervals.
+func Table1(base moldyn.Params, updates []int) (*Table, []*MoldynResults, error) {
+	t := &Table{Title: fmt.Sprintf(
+		"Table 1: Moldyn - %d processor results (N=%d, %d steps). The interaction list is updated at varying intervals.",
+		base.Procs, base.N, base.Steps)}
+	var all []*MoldynResults
+	for _, u := range updates {
+		p := base
+		p.UpdateEvery = u
+		res, err := RunMoldyn(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, res)
+		t.Rows = append(t.Rows, rowsOf(res.Config, res.Chaos, res.Base, res.Opt)...)
+	}
+	return t, all, nil
+}
+
+// NBFSize names one nbf problem size.
+type NBFSize struct {
+	Label string
+	N     int
+}
+
+// Table2 reproduces the paper's Table 2: the nbf kernel at 8 processors
+// across problem sizes (including the false-sharing-inducing one).
+func Table2(base nbf.Params, sizes []NBFSize) (*Table, []*NBFResults, error) {
+	t := &Table{Title: fmt.Sprintf(
+		"Table 2: NBF Kernel - %d processor results (%d partners/molecule, %d timed steps).",
+		base.Procs, base.Partners, base.Steps)}
+	var all []*NBFResults
+	for _, sz := range sizes {
+		p := base
+		p.N = sz.N
+		res, err := RunNBF(p, sz.Label)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, res)
+		t.Rows = append(t.Rows, rowsOf(res.Config, res.Chaos, res.Base, res.Opt)...)
+	}
+	return t, all, nil
+}

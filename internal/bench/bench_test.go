@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps/moldyn"
+	"repro/internal/apps/nbf"
+)
+
+// These tests enforce the paper's qualitative claims — who wins, in what
+// direction the gaps move — at test scale, so a regression in any layer
+// (protocol, Validate, CHAOS, cost model) that would change the paper's
+// story fails CI rather than silently producing a different table.
+
+func table1Small(t *testing.T) (*Table, []*MoldynResults) {
+	t.Helper()
+	p := moldyn.DefaultParams(768, 8)
+	p.Steps = 24
+	tbl, all, err := Table1(p, []int{12, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, all
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test runs seconds")
+	}
+	_, all := table1Small(t)
+	for _, r := range all {
+		// The optimized system beats base TreadMarks everywhere (§5.1:
+		// up to 38% on these apps).
+		if r.Opt.TimeSec >= r.Base.TimeSec {
+			t.Errorf("%s: opt (%.2fs) not faster than base (%.2fs)", r.Config, r.Opt.TimeSec, r.Base.TimeSec)
+		}
+		// Base TreadMarks sends several times CHAOS's messages (the
+		// page-at-a-time vs single-message contrast of §5.1).
+		if r.Base.Messages < 3*r.Chaos.Messages {
+			t.Errorf("%s: base msgs (%d) not >> chaos (%d)", r.Config, r.Base.Messages, r.Chaos.Messages)
+		}
+		// Aggregation cuts the message count (the factor grows with
+		// scale; at this size barrier traffic is common to both).
+		if r.Opt.Messages >= r.Base.Messages {
+			t.Errorf("%s: opt msgs (%d) not below base (%d)", r.Config, r.Opt.Messages, r.Base.Messages)
+		}
+		// The Validate scan is at least 5x cheaper than the inspector.
+		if r.Opt.Detail["scan_s"]*5 > r.Chaos.Detail["inspector_s"] {
+			t.Errorf("%s: scan %.4fs not clearly cheaper than inspector %.4fs",
+				r.Config, r.Opt.Detail["scan_s"], r.Chaos.Detail["inspector_s"])
+		}
+	}
+	// C2: the opt-vs-CHAOS gap moves in the DSM's favor as the update
+	// frequency rises (update interval 12 -> 6).
+	adv := func(r *MoldynResults) float64 {
+		return (r.Chaos.TimeSec - r.Opt.TimeSec) / r.Chaos.TimeSec
+	}
+	if adv(all[1]) <= adv(all[0]) {
+		t.Errorf("C2 violated: advantage at update=6 (%.3f) not above update=12 (%.3f)",
+			adv(all[1]), adv(all[0]))
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test runs seconds")
+	}
+	p := nbf.DefaultParams(0, 8)
+	p.Partners = 50
+	tbl, all, err := Table2(p, []NBFSize{
+		{Label: "8 x 1024", N: 8 * 1024},
+		{Label: "8 x 1000", N: 8 * 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned, shared := all[0], all[1]
+	// CHAOS wins the executor-only timing (§5.2: TreadMarks is at most
+	// 14% slower; allow up to 60% at this reduced scale).
+	if aligned.Opt.TimeSec > 1.6*aligned.Chaos.TimeSec {
+		t.Errorf("opt (%.3f) too far behind chaos (%.3f)", aligned.Opt.TimeSec, aligned.Chaos.TimeSec)
+	}
+	// Base moves far more data than opt (the overlapping-diff effect).
+	if aligned.Base.DataMB < 2*aligned.Opt.DataMB {
+		t.Errorf("base data (%.1f) not >> opt (%.1f)", aligned.Base.DataMB, aligned.Opt.DataMB)
+	}
+	// CHAOS uses fewer messages than either TreadMarks variant
+	// (one-message push vs request/response).
+	if aligned.Chaos.Messages >= aligned.Opt.Messages {
+		t.Errorf("chaos msgs (%d) not below opt (%d)", aligned.Chaos.Messages, aligned.Opt.Messages)
+	}
+	// C3: the misaligned size is relatively slower for opt than the
+	// aligned size (per molecule).
+	if shared.Opt.TimeSec/float64(shared.Seq.TimeSec) <= aligned.Opt.TimeSec/float64(aligned.Seq.TimeSec) {
+		t.Errorf("C3 violated: no false-sharing penalty (%.4f vs %.4f normalized)",
+			shared.Opt.TimeSec/shared.Seq.TimeSec, aligned.Opt.TimeSec/aligned.Seq.TimeSec)
+	}
+	if !strings.Contains(tbl.String(), "NBF Kernel") {
+		t.Error("table title missing")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{Title: "T", Rows: []Row{
+		{Config: "a", System: "CHAOS", TimeSec: 1.5, Speedup: 6, Messages: 100, DataMB: 2},
+		{Config: "a", System: "Tmk base", TimeSec: 2.5, Speedup: 4, Messages: 900, DataMB: 9},
+	}}
+	out := tbl.String()
+	if !strings.Contains(out, "CHAOS") || !strings.Contains(out, "Tmk base") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+	// The repeated config label is blanked.
+	if strings.Count(out, "a ") < 1 {
+		t.Fatalf("config column wrong:\n%s", out)
+	}
+}
+
+func TestRunMoldynVerifies(t *testing.T) {
+	p := moldyn.DefaultParams(256, 4)
+	p.Steps = 4
+	p.UpdateEvery = 2
+	res, err := RunMoldyn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opt.Speedup <= 0 || res.Chaos.Speedup <= 0 {
+		t.Error("speedups not filled")
+	}
+}
+
+func TestRunNBFVerifies(t *testing.T) {
+	p := nbf.DefaultParams(512, 4)
+	p.Steps = 3
+	p.Partners = 20
+	res, err := RunNBF(p, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Base.Speedup <= 0 {
+		t.Error("speedups not filled")
+	}
+}

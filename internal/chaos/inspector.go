@@ -1,0 +1,251 @@
+// The inspector and executor (§4). The inspector runs once per
+// indirection-array change: it scans the global indices the processor's
+// iterations access, eliminates duplicates with a hash table, translates
+// the survivors through the translation table, assigns ghost slots for
+// off-processor elements, and exchanges send lists so both sides of
+// every pair know the communication schedule. The executor then moves
+// data with sender-initiated single messages: Gather fetches
+// off-processor data into the ghost region, ScatterAdd pushes
+// accumulated contributions back to their owners.
+package chaos
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Schedule is a communication schedule: for each peer, which of the
+// peer's local elements we receive (into which ghost slots), and which
+// of our local elements we send.
+type Schedule struct {
+	Me     int
+	NProcs int
+
+	// OwnCount is the number of elements this processor owns; ghost
+	// slots follow at local indices [OwnCount, OwnCount+Ghosts).
+	OwnCount int
+	Ghosts   int
+
+	// RecvFrom[q] lists, in ghost-slot order, the q-local indices whose
+	// values we receive from q.
+	RecvFrom [][]int32
+	// RecvSlot[q] lists the ghost slots (our local indices) those values
+	// fill; parallel to RecvFrom[q].
+	RecvSlot [][]int32
+	// SendTo[q] lists our local element indices whose values we send to q.
+	SendTo [][]int32
+
+	// localOf maps a global element index to its local slot (owned or
+	// ghost) on this processor; -1 if untouched here.
+	localOf []int32
+}
+
+// LocalOf returns the local slot of global element g, or -1.
+func (s *Schedule) LocalOf(g int) int32 { return s.localOf[g] }
+
+// CommPairs returns the number of peers this processor exchanges data
+// with in each direction.
+func (s *Schedule) CommPairs() (recvPeers, sendPeers int) {
+	for q := 0; q < s.NProcs; q++ {
+		if len(s.RecvFrom[q]) > 0 {
+			recvPeers++
+		}
+		if len(s.SendTo[q]) > 0 {
+			sendPeers++
+		}
+	}
+	return
+}
+
+// InspectorCost models the per-entry costs of the inspector; the paper's
+// key observation is that hashing every indirection entry and consulting
+// the translation table makes the inspector expensive (6.2–9.2 s for
+// moldyn) compared with Validate's page-set scan (0.4–0.8 s).
+type InspectorCost struct {
+	HashUSPerEntry float64
+	BuildUSPerElem float64
+	// TranslateAll translates every reference through the table before
+	// duplicate elimination — the ordering the paper's measured moldyn
+	// program exhibits (its distributed-table inspector exchanged 85 MB
+	// in 878 messages, roughly the full reference stream).
+	TranslateAll bool
+}
+
+// DefaultInspectorCost returns the calibrated cost model.
+func DefaultInspectorCost() InspectorCost {
+	return InspectorCost{HashUSPerEntry: 0.25, BuildUSPerElem: 0.15}
+}
+
+// Inspect builds processor p's communication schedule. globals lists, in
+// iteration order and with duplicates, every global data element the
+// processor's iterations access; tt supplies translation. Peer send
+// lists are exchanged with one message per communicating pair
+// ("chaos.sched"). All processors must call Inspect collectively with
+// the same tag (a phase id distinguishing successive inspector runs).
+func Inspect(p *sim.Proc, tag int, globals []int, tt *TransTable, cost InspectorCost) *Schedule {
+	me := p.ID()
+	nprocs := p.NProcs()
+	n := tt.N()
+
+	if cost.TranslateAll {
+		// Translate the raw reference stream (charging the full
+		// distributed-table traffic), then dedup.
+		tt.LookupBatch(p, globals)
+	}
+
+	// Duplicate elimination via a hash table sized to the data array
+	// (§4: "a hash table whose size is proportional to the size of the
+	// data array is employed to eliminate duplicates").
+	seen := make([]bool, n)
+	distinct := make([]int, 0, len(globals))
+	for _, g := range globals {
+		if !seen[g] {
+			seen[g] = true
+			distinct = append(distinct, g)
+		}
+	}
+	sort.Ints(distinct)
+	p.Advance(cost.HashUSPerEntry * float64(len(globals)))
+
+	// Translate the distinct elements (may communicate, depending on the
+	// table organization; already paid above under TranslateAll).
+	var locs []Loc
+	if cost.TranslateAll {
+		locs = tt.LookupLocal(distinct)
+	} else {
+		locs = tt.LookupBatch(p, distinct)
+	}
+
+	sch := &Schedule{
+		Me:       me,
+		NProcs:   nprocs,
+		RecvFrom: make([][]int32, nprocs),
+		RecvSlot: make([][]int32, nprocs),
+		SendTo:   make([][]int32, nprocs),
+		localOf:  make([]int32, n),
+	}
+	for i := range sch.localOf {
+		sch.localOf[i] = -1
+	}
+	// Owned elements occupy their remapped offsets — all of them, not
+	// just the accessed ones, so ghost slots start past the full block.
+	own := 0
+	for g := 0; g < n; g++ {
+		if tt.owner[g] == me {
+			sch.localOf[g] = tt.local[g]
+			own++
+		}
+	}
+	sch.OwnCount = own
+	// Ghost slots for remote elements, grouped by home processor.
+	ghost := int32(own)
+	for i, g := range distinct {
+		if locs[i].Proc == me {
+			continue
+		}
+		q := locs[i].Proc
+		sch.RecvFrom[q] = append(sch.RecvFrom[q], locs[i].Off)
+		sch.RecvSlot[q] = append(sch.RecvSlot[q], ghost)
+		sch.localOf[g] = ghost
+		ghost++
+	}
+	sch.Ghosts = int(ghost) - own
+	p.Advance(cost.BuildUSPerElem * float64(len(distinct)))
+
+	// Exchange send lists: q must learn which of its elements we want.
+	// One message per communicating pair, counted under "chaos.sched".
+	type reqMsg struct{ wants []int32 }
+	for q := 0; q < nprocs; q++ {
+		if q == me {
+			continue
+		}
+		p.Send(q, "chaos.sched", tag, &reqMsg{wants: sch.RecvFrom[q]}, 4*len(sch.RecvFrom[q]))
+	}
+	for q := 0; q < nprocs-1; q++ {
+		from, payload := p.Recv("chaos.sched", tag)
+		sch.SendTo[from] = payload.(*reqMsg).wants
+	}
+	return sch
+}
+
+// ExecutorCost models per-element pack/unpack time in gather/scatter.
+type ExecutorCost struct {
+	PackUSPerElem float64
+}
+
+// DefaultExecutorCost returns the calibrated executor cost.
+func DefaultExecutorCost() ExecutorCost { return ExecutorCost{PackUSPerElem: 0.05} }
+
+// Gather fills the ghost region of data from the owners, using one
+// sender-initiated message per communicating pair ("chaos.gather") — the
+// one-message push the paper contrasts with TreadMarks' two-message
+// request/response. data holds width float64 values per element slot,
+// layout [owned | ghosts]. All processors must call Gather collectively
+// with the same tag (a unique phase id, e.g. the time step).
+func Gather(p *sim.Proc, tag int, sch *Schedule, data []float64, width int, cost ExecutorCost) {
+	me := sch.Me
+	expect := 0
+	for q := 0; q < sch.NProcs; q++ {
+		if q == me {
+			continue
+		}
+		if len(sch.RecvFrom[q]) > 0 {
+			expect++
+		}
+		if len(sch.SendTo[q]) == 0 {
+			continue
+		}
+		vals := make([]float64, width*len(sch.SendTo[q]))
+		for i, li := range sch.SendTo[q] {
+			copy(vals[i*width:], data[int(li)*width:int(li)*width+width])
+		}
+		p.Advance(cost.PackUSPerElem * float64(len(vals)))
+		p.Send(q, "chaos.gather", tag, vals, 8*len(vals))
+	}
+	for k := 0; k < expect; k++ {
+		from, payload := p.Recv("chaos.gather", tag)
+		vals := payload.([]float64)
+		slots := sch.RecvSlot[from]
+		for i := range slots {
+			copy(data[int(slots[i])*width:int(slots[i])*width+width], vals[i*width:i*width+width])
+		}
+		p.Advance(cost.PackUSPerElem * float64(len(vals)))
+	}
+}
+
+// ScatterAdd pushes ghost-slot contributions back to their owners, which
+// add them into their elements ("chaos.scatter"); used for the force
+// reduction. data holds width float64 values per slot. All processors
+// must call ScatterAdd collectively with the same tag.
+func ScatterAdd(p *sim.Proc, tag int, sch *Schedule, data []float64, width int, cost ExecutorCost) {
+	me := sch.Me
+	expect := 0
+	for q := 0; q < sch.NProcs; q++ {
+		if q == me {
+			continue
+		}
+		if len(sch.SendTo[q]) > 0 {
+			expect++
+		}
+		if len(sch.RecvFrom[q]) == 0 {
+			continue
+		}
+		vals := make([]float64, width*len(sch.RecvFrom[q]))
+		for i, slot := range sch.RecvSlot[q] {
+			copy(vals[i*width:], data[int(slot)*width:int(slot)*width+width])
+		}
+		p.Advance(cost.PackUSPerElem * float64(len(vals)))
+		p.Send(q, "chaos.scatter", tag, vals, 8*len(vals))
+	}
+	for k := 0; k < expect; k++ {
+		from, payload := p.Recv("chaos.scatter", tag)
+		vals := payload.([]float64)
+		for i, li := range sch.SendTo[from] {
+			for d := 0; d < width; d++ {
+				data[int(li)*width+d] += vals[i*width+d]
+			}
+		}
+		p.Advance(cost.PackUSPerElem * float64(len(vals)))
+	}
+}

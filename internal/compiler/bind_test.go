@@ -1,0 +1,132 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+func bindWorld(t *testing.T) (map[string]*core.Array, *tmk.DSM) {
+	t.Helper()
+	c := sim.NewCluster(sim.DefaultConfig(2))
+	d := tmk.New(c, 1024, 1<<20)
+	arrays := map[string]*core.Array{
+		"x":        {Name: "x", Base: d.Alloc(8 * 100), ElemSize: 8, Len: 100},
+		"partners": {Name: "partners", Base: d.Alloc(4 * 1000), ElemSize: 4, Len: 1000},
+	}
+	d.SealInit()
+	return arrays, d
+}
+
+func TestBindResolvesSymbolsAndShiftsBase(t *testing.T) {
+	arrays, _ := bindWorld(t)
+	spec := &DescSpec{
+		Data:   "x",
+		Indirs: []string{"partners"},
+		Section: []DimSpec{{
+			Lo: &lang.Ident{Name: "lo"}, Hi: &lang.Ident{Name: "hi"}, Stride: 1,
+		}},
+		Access: Read,
+	}
+	d, err := Bind(spec, &BindEnv{
+		Arrays: arrays, Dims: map[string][]int{},
+		Env: Env{"lo": 1, "hi": 10}, Sched: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != core.Indirect || d.Indir != arrays["partners"] || d.Data != arrays["x"] {
+		t.Fatalf("bound desc wrong: %+v", d)
+	}
+	// 1-based [1:10] becomes 0-based [0:9].
+	if d.Section.Dims[0].Lo != 0 || d.Section.Dims[0].Hi != 9 {
+		t.Fatalf("section = %v", d.Section)
+	}
+	if d.Sched != 3 {
+		t.Fatalf("sched = %d", d.Sched)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	arrays, _ := bindWorld(t)
+	// Unknown data array.
+	_, err := Bind(&DescSpec{Data: "nope",
+		Section: []DimSpec{{Lo: &lang.Num{Value: 1}, Hi: &lang.Num{Value: 2}, Stride: 1}}},
+		&BindEnv{Arrays: arrays, Env: Env{}})
+	if err == nil || !strings.Contains(err.Error(), "not bound") {
+		t.Fatalf("missing-array error: %v", err)
+	}
+	// Unknown indirection array.
+	_, err = Bind(&DescSpec{Data: "x", Indirs: []string{"ghost"},
+		Section: []DimSpec{{Lo: &lang.Num{Value: 1}, Hi: &lang.Num{Value: 2}, Stride: 1}}},
+		&BindEnv{Arrays: arrays, Env: Env{}})
+	if err == nil {
+		t.Fatal("missing indirection array not detected")
+	}
+	// Unbound symbol.
+	_, err = Bind(&DescSpec{Data: "x",
+		Section: []DimSpec{{Lo: &lang.Ident{Name: "mystery"}, Hi: &lang.Num{Value: 2}, Stride: 1}}},
+		&BindEnv{Arrays: arrays, Env: Env{}})
+	if err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Fatalf("unbound-symbol error: %v", err)
+	}
+}
+
+func TestBindDirectAccessTypes(t *testing.T) {
+	arrays, _ := bindWorld(t)
+	for spec, want := range map[Access]core.AccessType{
+		Read: core.Read, Write: core.Write, ReadWrite: core.ReadWrite,
+		WriteAll: core.WriteAll, ReadWriteAll: core.ReadWriteAll,
+	} {
+		d, err := Bind(&DescSpec{Data: "x", Access: spec,
+			Section: []DimSpec{{Lo: &lang.Num{Value: 1}, Hi: &lang.Num{Value: 50}, Stride: 1}}},
+			&BindEnv{Arrays: arrays, Env: Env{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Access != want || d.Type != core.Direct {
+			t.Fatalf("access %v bound to %v", spec, d.Access)
+		}
+	}
+}
+
+func TestAccessMergeTable(t *testing.T) {
+	cases := []struct{ a, b, want Access }{
+		{Read, Read, Read},
+		{Read, Write, ReadWrite},
+		{Write, Write, Write},
+		{Read, WriteAll, ReadWriteAll},
+		{WriteAll, WriteAll, WriteAll},
+		{ReadWrite, WriteAll, ReadWriteAll},
+		{Read, ReadWriteAll, ReadWriteAll},
+	}
+	for _, c := range cases {
+		if got := c.a.merge(c.b); got != c.want {
+			t.Errorf("%v merge %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.merge(c.a); got != c.want {
+			t.Errorf("merge not commutative for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestDescSpecStrings(t *testing.T) {
+	d := &DescSpec{Data: "x", Indirs: []string{"idx", "outer"},
+		Section: []DimSpec{{Lo: &lang.Num{Value: 1}, Hi: &lang.Ident{Name: "n"}, Stride: 1}},
+		Access:  Read}
+	s := d.String()
+	if !strings.Contains(s, "INDIRECT") || !strings.Contains(s, "via outer") {
+		t.Fatalf("string = %q", s)
+	}
+	direct := &DescSpec{Data: "y",
+		Section: []DimSpec{{Lo: &lang.Num{Value: 2}, Hi: &lang.Num{Value: 8}, Stride: 2}},
+		Access:  WriteAll}
+	s = direct.String()
+	if !strings.Contains(s, "DIRECT") || !strings.Contains(s, "2:8:2") || !strings.Contains(s, "WRITE_ALL") {
+		t.Fatalf("string = %q", s)
+	}
+}

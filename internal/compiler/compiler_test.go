@@ -1,0 +1,282 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func mustParse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func descStrings(sum *Summary) []string {
+	out := make([]string, len(sum.Descs))
+	for i, d := range sum.Descs {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func TestMoldynAnalysis(t *testing.T) {
+	// The headline result (Figure 2): ComputeForces gets one INDIRECT
+	// READ descriptor on x through interaction_list(1:2, mylo:myhi).
+	// local_forces is private and produces nothing.
+	prog := mustParse(t, MoldynKernel)
+	sum, err := Analyze(prog, "computeforces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Descs) != 1 {
+		t.Fatalf("want 1 descriptor, got %v", descStrings(sum))
+	}
+	d := sum.Descs[0]
+	if !d.Indirect() || d.Data != "x" || d.Indirs[0] != "interaction_list" {
+		t.Fatalf("bad descriptor: %s", d)
+	}
+	if d.Access != Read {
+		t.Fatalf("x should be READ, got %s", d.Access)
+	}
+	if got := d.sectionString(); got != "[1:2, mylo:myhi]" {
+		t.Fatalf("section = %s, want [1:2, mylo:myhi]", got)
+	}
+}
+
+func TestMoldynTransformGolden(t *testing.T) {
+	prog := mustParse(t, MoldynKernel)
+	src, _, err := Transform(prog, "computeforces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `SUBROUTINE computeforces()
+  Validate(1, INDIRECT, x, interaction_list[1:2, mylo:myhi], READ)
+  do i = mylo, myhi
+    n1 = interaction_list(1, i)
+    n2 = interaction_list(2, i)
+    do d = 1, 3
+      f = x(d, n1) - x(d, n2)
+      local_forces(d, n1) = local_forces(d, n1) + f
+      local_forces(d, n2) = local_forces(d, n2) - f
+    enddo
+  enddo
+END
+`
+	if src != want {
+		t.Fatalf("transformed source mismatch:\n--- got ---\n%s\n--- want ---\n%s", src, want)
+	}
+}
+
+func TestNBFAnalysisFlattensPartnerList(t *testing.T) {
+	// The nbf partner subscript (i-1)*100+k over k=1..100 must collapse
+	// to the dense section [(mylo-1)*100+1 : (myhi-1)*100+100] — the
+	// contiguous slice of the concatenated partner list.
+	prog := mustParse(t, NBFKernel)
+	sum, err := Analyze(prog, "forceloop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var indirect *DescSpec
+	var direct *DescSpec
+	for _, d := range sum.Descs {
+		if d.Indirect() {
+			indirect = d
+		} else {
+			direct = d
+		}
+	}
+	if indirect == nil {
+		t.Fatalf("no INDIRECT descriptor: %v", descStrings(sum))
+	}
+	if indirect.Data != "x" || indirect.Indirs[0] != "partners" {
+		t.Fatalf("bad indirect descriptor: %s", indirect)
+	}
+	if len(indirect.Section) != 1 || indirect.Section[0].Stride != 1 {
+		t.Fatalf("partner section not dense: %s", indirect)
+	}
+	// x(i) is also read directly.
+	if direct == nil || direct.Data != "x" || direct.Access != Read {
+		t.Fatalf("missing direct x(i) read: %v", descStrings(sum))
+	}
+	// Bind the section with concrete bounds and check the range.
+	env := Env{"mylo": 11, "myhi": 20}
+	lo, err := Eval(indirect.Section[0].Lo, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Eval(indirect.Section[0].Hi, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != (11-1)*100+1 || hi != (20-1)*100+100 {
+		t.Fatalf("bound section = [%d:%d], want [1001:2000]", lo, hi)
+	}
+}
+
+func TestReductionAccessTags(t *testing.T) {
+	prog := mustParse(t, ReductionKernel)
+	first, err := Analyze(prog, "firststage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Descs) != 1 || first.Descs[0].Access != WriteAll {
+		t.Fatalf("first stage should be WRITE_ALL: %v", descStrings(first))
+	}
+	later, err := Analyze(prog, "laterstage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(later.Descs) != 1 || later.Descs[0].Access != ReadWriteAll {
+		t.Fatalf("later stage should be READ&WRITE_ALL: %v", descStrings(later))
+	}
+}
+
+func TestConditionalWriteIsNotWriteAll(t *testing.T) {
+	src := `
+program p
+shared real a(n)
+call s()
+end
+subroutine s()
+do i = lo, hi
+  if (i - 5) then
+    a(i) = 1
+  endif
+enddo
+end
+`
+	prog := mustParse(t, src)
+	sum, err := Analyze(prog, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Descs) != 1 || sum.Descs[0].Access != Write {
+		t.Fatalf("conditional write must be WRITE, got %v", descStrings(sum))
+	}
+}
+
+func TestStridedSubscript(t *testing.T) {
+	src := `
+program p
+shared real a(n)
+call s()
+end
+subroutine s()
+do i = lo, hi
+  a(2 * i) = 1
+enddo
+end
+`
+	prog := mustParse(t, src)
+	sum, err := Analyze(prog, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sum.Descs[0]
+	if d.Section[0].Stride != 2 {
+		t.Fatalf("stride = %d, want 2 (%s)", d.Section[0].Stride, d)
+	}
+	if d.Access != Write {
+		t.Fatalf("strided write cannot be WRITE_ALL: %s", d.Access)
+	}
+}
+
+func TestTwoLevelIndirection(t *testing.T) {
+	prog := mustParse(t, TwoLevelKernel)
+	sum, err := Analyze(prog, "walk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chain *DescSpec
+	for _, d := range sum.Descs {
+		if d.Data == "data" {
+			chain = d
+		}
+	}
+	if chain == nil {
+		t.Fatalf("no descriptor for data: %v", descStrings(sum))
+	}
+	if len(chain.Indirs) != 2 || chain.Indirs[0] != "inner" || chain.Indirs[1] != "outer" {
+		t.Fatalf("chain = %v, want [inner outer]", chain.Indirs)
+	}
+	if got := chain.sectionString(); got != "[mylo:myhi]" {
+		t.Fatalf("section = %s", got)
+	}
+}
+
+func TestReadWriteMerge(t *testing.T) {
+	src := `
+program p
+shared real a(n)
+call s()
+end
+subroutine s()
+do i = lo, hi
+  a(i) = a(i) + 1
+enddo
+end
+`
+	prog := mustParse(t, src)
+	sum, err := Analyze(prog, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Descs) != 1 || sum.Descs[0].Access != ReadWriteAll {
+		t.Fatalf("a(i) = a(i)+1 over full range should merge to READ&WRITE_ALL: %v", descStrings(sum))
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	bad := []string{
+		"",                       // no program
+		"program p\ndo i = 1\n",  // malformed do
+		"program p\nx(1 = 2\n",   // unbalanced
+		"program p\n@\nend\n",    // bad rune
+		"program p\ncall\nend\n", // call without name
+	}
+	for _, src := range bad {
+		if _, err := lang.Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestUnknownSubroutine(t *testing.T) {
+	prog := mustParse(t, MoldynKernel)
+	if _, err := Analyze(prog, "nosuch"); err == nil {
+		t.Fatal("no error for unknown subroutine")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	if _, err := Eval(&lang.Ident{Name: "unbound"}, Env{}); err == nil {
+		t.Fatal("unbound symbol must error")
+	}
+	v, err := Eval(&lang.BinOp{Op: "*",
+		L: &lang.Num{Value: 3},
+		R: &lang.BinOp{Op: "+", L: &lang.Ident{Name: "a"}, R: &lang.Num{Value: 2}},
+	}, Env{"a": 4})
+	if err != nil || v != 18 {
+		t.Fatalf("eval = %d, %v", v, err)
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lang.Lex("do i = 1, n ! comment\nenddo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.String())
+	}
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, `"do"`) || strings.Contains(joined, "comment") {
+		t.Fatalf("lex output wrong: %s", joined)
+	}
+}

@@ -1,0 +1,107 @@
+// The paper's kernels, written in the kernel description language. These
+// are the inputs the compiler front-end is demonstrated on: moldyn's
+// ComputeForces (Figure 1) and nbf's force loop (§5.2). The examples and
+// tests compile these and feed the resulting descriptors to the runtime.
+package compiler
+
+// MoldynKernel is the moldyn main program and ComputeForces subroutine
+// of Figure 1, with the per-processor section bounds (mylo, myhi) made
+// explicit. x is the coordinate array, forces the force array,
+// interaction_list the indirection array, and local_forces the private
+// accumulation array of the transformed program (Figure 2).
+const MoldynKernel = `
+program moldyn
+shared real x(3, n)
+shared real forces(3, n)
+shared integer interaction_list(2, maxinter)
+private real local_forces(3, n)
+
+do step = 1, nsteps
+  call computeforces()
+enddo
+end
+
+subroutine computeforces()
+do i = mylo, myhi
+  n1 = interaction_list(1, i)
+  n2 = interaction_list(2, i)
+  do d = 1, 3
+    f = x(d, n1) - x(d, n2)
+    local_forces(d, n1) = local_forces(d, n1) + f
+    local_forces(d, n2) = local_forces(d, n2) - f
+  enddo
+enddo
+end
+`
+
+// NBFKernel is the nbf force loop: molecule i's partners are the
+// contiguous slice partners((i-1)*ppm+1 : i*ppm) of the concatenated
+// partner list.
+const NBFKernel = `
+program nbf
+shared real x(n)
+shared real forces(n)
+shared integer partners(m)
+private real local_forces(n)
+
+call forceloop()
+end
+
+subroutine forceloop()
+do i = mylo, myhi
+  do k = 1, 100
+    j = partners((i - 1) * 100 + k)
+    f = x(i) - x(j)
+    local_forces(i) = local_forces(i) + f
+    local_forces(j) = local_forces(j) - f
+  enddo
+enddo
+end
+`
+
+// ReductionKernel is the pipelined force-reduction stage of the
+// transformed programs: the stage overwrites (first writer) or
+// read-modify-writes (later writers) an entire block — the access
+// pattern that earns WRITE_ALL / READ&WRITE_ALL tags.
+const ReductionKernel = `
+program reduction
+shared real forces(n)
+private real local_forces(n)
+
+call firststage()
+call laterstage()
+end
+
+subroutine firststage()
+do j = blo, bhi
+  forces(j) = local_forces(j)
+enddo
+end
+
+subroutine laterstage()
+do j = blo, bhi
+  forces(j) = forces(j) + local_forces(j)
+enddo
+end
+`
+
+// TwoLevelKernel exercises multi-level indirection (§3.3: "naturally
+// extends to multiple levels"): data is reached through an index array
+// that is itself indexed through another.
+const TwoLevelKernel = `
+program twolevel
+shared real data(n)
+shared integer outer(m)
+shared integer inner(m)
+
+call walk()
+end
+
+subroutine walk()
+do i = mylo, myhi
+  a = inner(i)
+  b = outer(a)
+  s = s + data(b)
+enddo
+end
+`

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rsd"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+func TestFullyCoveredGeometry(t *testing.T) {
+	c := sim.NewCluster(sim.DefaultConfig(1))
+	d := tmk.New(c, 1024, 1<<20) // 128 float64 per page
+	arr := &Array{Name: "a", Base: d.Alloc(8 * 1024), ElemSize: 8, Len: 1024}
+	d.SealInit()
+	rt := NewRuntime(d.Node(0))
+
+	cases := []struct {
+		lo, hi   int
+		wantFull int
+		name     string
+	}{
+		{0, 127, 1, "exactly one page"},
+		{0, 1023, 8, "whole array"},
+		{0, 130, 1, "page 0 full, page 1 partial"},
+		{5, 255, 1, "start partial, page 1 exact"},
+		{5, 250, 0, "both pages partial"},
+		{5, 120, 0, "strict subset of one page"},
+		{128, 255, 1, "second page exact"},
+	}
+	for _, tc := range cases {
+		desc := &Desc{Type: Direct, Data: arr, Section: rsd.Range1(tc.lo, tc.hi), Access: WriteAll}
+		got := rt.fullyCovered(desc)
+		if len(got) != tc.wantFull {
+			t.Errorf("%s: %d fully covered pages, want %d", tc.name, len(got), tc.wantFull)
+		}
+	}
+
+	// Strided sections never qualify.
+	desc := &Desc{Type: Direct, Data: arr,
+		Section: rsd.New(rsd.Dim{Lo: 0, Hi: 1022, Stride: 2}), Access: WriteAll}
+	if got := rt.fullyCovered(desc); len(got) != 0 {
+		t.Errorf("strided section claimed %d full pages", len(got))
+	}
+	// Indirect descriptors never qualify.
+	idx := &Array{Name: "i", Base: arr.Base, ElemSize: 4, Len: 8}
+	desc = &Desc{Type: Indirect, Data: arr, Indir: idx,
+		Section: rsd.Range1(0, 7), Access: ReadWriteAll}
+	if got := rt.fullyCovered(desc); len(got) != 0 {
+		t.Errorf("indirect section claimed %d full pages", len(got))
+	}
+}
+
+func TestBoundaryPagesKeepTwins(t *testing.T) {
+	// A WRITE_ALL section that only partially covers its edge pages must
+	// twin those pages (their outside bytes belong to someone else) and
+	// may skip twins only on interior pages.
+	e := newEnv(t, 2, 1024, 4, func(i int) int32 { return 0 })
+	e.d.Cluster().Run(func(p *sim.Proc) {
+		n := e.d.Node(p.ID())
+		if p.ID() == 0 {
+			rt := NewRuntime(n)
+			// Units 5..250: page 0 and part of page 1 (128 units/page at
+			// 1024B pages)... page 1 fully covered, pages 0 and... unit
+			// range covers pages 0..1 with page 1 = units 128..255
+			// partially covered (250 < 255).
+			rt.Validate(Desc{Type: Direct, Data: e.data,
+				Section: rsd.Range1(5, 250), Access: WriteAll, Sched: 1})
+			if n.TwinsMade == 0 {
+				t.Error("boundary pages of a WRITE_ALL section must twin")
+			}
+			for i := 5; i <= 250; i++ {
+				n.Space().WriteF64(e.data.Addr(i), float64(i))
+			}
+		}
+		n.Barrier(1)
+		if p.ID() == 1 {
+			// Outside bytes must be intact, inside bytes updated.
+			if got := n.Space().ReadF64(e.data.Addr(3)); got != 3 {
+				t.Errorf("outside unit 3 clobbered: %v", got)
+			}
+			if got := n.Space().ReadF64(e.data.Addr(100)); got != 100 {
+				t.Errorf("inside unit 100 = %v", got)
+			}
+			if got := n.Space().ReadF64(e.data.Addr(255)); got != 255.0 {
+				// unit 255 initialized to 255 by newEnv and not written.
+				t.Errorf("outside unit 255 = %v", got)
+			}
+		}
+		n.Barrier(2)
+	})
+}
+
+func TestValidateWithGCEnabled(t *testing.T) {
+	// The Validate machinery must compose with the diff GC: tiny
+	// threshold, many epochs, correctness preserved.
+	e := newEnv(t, 2, 2000, 100, func(i int) int32 { return int32(i * 19 % 2000) })
+	e.d.GCThresholdBytes = 256
+	e.d.Cluster().Run(func(p *sim.Proc) {
+		n := e.d.Node(p.ID())
+		rt := NewRuntime(n)
+		for epoch := 0; epoch < 6; epoch++ {
+			if p.ID() == 0 {
+				for i := 0; i < 2000; i += 37 {
+					n.Space().WriteF64(e.data.Addr(i), float64(epoch*10000+i))
+				}
+			}
+			n.Barrier(1)
+			if p.ID() == 1 {
+				rt.Validate(Desc{Type: Indirect, Data: e.data, Indir: e.indir,
+					Section: rsd.Range1(0, 99), Access: Read, Sched: 1})
+				for k := 0; k < 100; k++ {
+					idx := int(n.Space().ReadI32(e.indir.Addr(k)))
+					got := n.Space().ReadF64(e.data.Addr(idx))
+					var want float64
+					if idx%37 == 0 {
+						want = float64(epoch*10000 + idx)
+					} else {
+						want = float64(idx)
+					}
+					if got != want {
+						t.Errorf("epoch %d idx %d: %v != %v", epoch, idx, got, want)
+						return
+					}
+				}
+			}
+			n.Barrier(2)
+		}
+	})
+	gcs := e.d.Node(0).GCs + e.d.Node(1).GCs
+	if gcs == 0 {
+		t.Fatal("GC never ran despite tiny threshold")
+	}
+}
+
+func TestEmptySectionValidate(t *testing.T) {
+	// A processor with no work (empty section) must not crash or fetch.
+	e := newEnv(t, 2, 128, 8, func(i int) int32 { return 0 })
+	e.d.Cluster().Run(func(p *sim.Proc) {
+		n := e.d.Node(p.ID())
+		if p.ID() == 1 {
+			rt := NewRuntime(n)
+			rt.Validate(Desc{Type: Indirect, Data: e.data, Indir: e.indir,
+				Section: rsd.Range1(4, 3), Access: Read, Sched: 1}) // empty
+		}
+		n.Barrier(1)
+	})
+}
+
+func TestSectionChangeForcesRecompute(t *testing.T) {
+	// Changing only the section bounds (the rebuild-moved-my-boundaries
+	// case) must recompute even with no modification flag.
+	e := newEnv(t, 2, 1000, 100, func(i int) int32 { return int32(i) })
+	e.d.Cluster().Run(func(p *sim.Proc) {
+		n := e.d.Node(p.ID())
+		if p.ID() == 1 {
+			rt := NewRuntime(n)
+			rt.Validate(Desc{Type: Indirect, Data: e.data, Indir: e.indir,
+				Section: rsd.Range1(0, 49), Access: Read, Sched: 1})
+			rt.Validate(Desc{Type: Indirect, Data: e.data, Indir: e.indir,
+				Section: rsd.Range1(50, 99), Access: Read, Sched: 1})
+			if rt.Recomputes != 2 {
+				t.Errorf("Recomputes = %d, want 2 (section changed)", rt.Recomputes)
+			}
+			if rt.Revalidates != 0 {
+				t.Errorf("Revalidates = %d, want 0", rt.Revalidates)
+			}
+		}
+		n.Barrier(1)
+	})
+}
+
+func TestWatchedPageSharedByTwoSchedules(t *testing.T) {
+	// Two schedules watching overlapping indirection pages must both see
+	// the modified flag flip.
+	e := newEnv(t, 2, 1000, 100, func(i int) int32 { return int32(i) })
+	e.d.Cluster().Run(func(p *sim.Proc) {
+		n := e.d.Node(p.ID())
+		if p.ID() != 0 {
+			n.Barrier(1)
+			n.Barrier(2)
+			return
+		}
+		rt := NewRuntime(n)
+		d1 := Desc{Type: Indirect, Data: e.data, Indir: e.indir,
+			Section: rsd.Range1(0, 49), Access: Read, Sched: 1}
+		d2 := Desc{Type: Indirect, Data: e.data, Indir: e.indir,
+			Section: rsd.Range1(10, 59), Access: Read, Sched: 2}
+		rt.Validate(d1, d2)
+		n.Barrier(1)
+		n.Space().WriteI32(e.indir.Addr(20), 999) // within both sections
+		n.Barrier(2)
+		rt.Validate(d1, d2)
+		if rt.Recomputes != 4 {
+			t.Errorf("Recomputes = %d, want 4 (both schedules twice)", rt.Recomputes)
+		}
+	})
+}
+
+func TestIndirectWriteTwinsDataPages(t *testing.T) {
+	// An INDIRECT READ&WRITE descriptor must write-enable the data pages
+	// so scatter stores run fault-free.
+	e := newEnv(t, 2, 512, 64, func(i int) int32 { return int32(i * 7 % 512) })
+	e.d.Cluster().Run(func(p *sim.Proc) {
+		n := e.d.Node(p.ID())
+		if p.ID() == 1 {
+			rt := NewRuntime(n)
+			rt.Validate(Desc{Type: Indirect, Data: e.data, Indir: e.indir,
+				Section: rsd.Range1(0, 63), Access: ReadWrite, Sched: 1})
+			wf := n.Space().WriteFaults
+			for k := 0; k < 64; k++ {
+				idx := int(n.Space().ReadI32(e.indir.Addr(k)))
+				n.Space().WriteF64(e.data.Addr(idx), 1.0)
+			}
+			if n.Space().WriteFaults != wf {
+				t.Errorf("scatter writes faulted %d times", n.Space().WriteFaults-wf)
+			}
+		}
+		n.Barrier(1)
+	})
+}
+
+func TestChainValidatePrefetchesAllLevels(t *testing.T) {
+	// Build inner -> outer -> data and confirm a chained Validate leaves
+	// the whole walk fault-free on a remote processor.
+	c := sim.NewCluster(sim.DefaultConfig(2))
+	d := tmk.New(c, 1024, 1<<22)
+	data := &Array{Name: "data", Base: d.Alloc(8 * 2048), ElemSize: 8, Len: 2048}
+	outer := &Array{Name: "outer", Base: d.Alloc(4 * 512), ElemSize: 4, Len: 512}
+	inner := &Array{Name: "inner", Base: d.Alloc(4 * 128), ElemSize: 4, Len: 128}
+	s0 := d.Node(0).Space()
+	for i := 0; i < 2048; i++ {
+		s0.WriteF64(data.Addr(i), float64(i))
+	}
+	for i := 0; i < 512; i++ {
+		s0.WriteI32(outer.Addr(i), int32((i*11)%2048))
+	}
+	for i := 0; i < 128; i++ {
+		s0.WriteI32(inner.Addr(i), int32((i*3)%512))
+	}
+	d.SealInit()
+	c.Run(func(p *sim.Proc) {
+		n := d.Node(p.ID())
+		if p.ID() == 0 {
+			for i := 0; i < 2048; i += 64 {
+				n.Space().WriteF64(data.Addr(i), -1)
+			}
+			for i := 0; i < 512; i += 32 {
+				n.Space().WriteI32(outer.Addr(i), int32((i*13)%2048))
+			}
+		}
+		n.Barrier(1)
+		if p.ID() == 1 {
+			rt := NewRuntime(n)
+			rt.Validate(Desc{
+				Type: Indirect, Data: data, Indir: inner,
+				Indirs:  []*Array{inner, outer},
+				Section: rsd.Range1(0, 127), Access: Read, Sched: 1,
+			})
+			rf := n.Space().ReadFaults
+			for i := 0; i < 128; i++ {
+				a := int(n.Space().ReadI32(inner.Addr(i)))
+				b := int(n.Space().ReadI32(outer.Addr(a)))
+				_ = n.Space().ReadF64(data.Addr(b))
+			}
+			if n.Space().ReadFaults != rf {
+				t.Errorf("chained walk faulted %d times", n.Space().ReadFaults-rf)
+			}
+		}
+		n.Barrier(2)
+	})
+}

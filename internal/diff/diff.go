@@ -1,0 +1,109 @@
+// Package diff implements the multiple-writer protocol's twins and
+// run-length-encoded diffs (§2 of the paper): a twin is an unmodified
+// copy of a page saved before the first write; a diff is a run-length
+// encoding of the bytes that changed, produced by comparing the twin to
+// the current page contents at the next synchronization point.
+package diff
+
+// Run is one contiguous stretch of modified bytes within a page.
+type Run struct {
+	Off  int    // byte offset within the page
+	Data []byte // the new bytes
+}
+
+// Diff is the run-length encoding of the modifications to one page.
+// A nil/empty Runs means the page was compared and found unchanged.
+type Diff struct {
+	Runs []Run
+}
+
+// WireHeaderB is the per-run wire overhead (offset + length fields).
+const WireHeaderB = 4
+
+// Encode compares twin and cur (which must be the same length) and
+// returns the run-length encoding of their differences. minGap merges
+// runs separated by fewer than minGap identical bytes, trading a few
+// redundant bytes for fewer runs — TreadMarks uses a small gap for the
+// same reason; 8 is a reasonable default.
+func Encode(twin, cur []byte, minGap int) Diff {
+	if len(twin) != len(cur) {
+		panic("diff: twin and page differ in length")
+	}
+	var runs []Run
+	n := len(cur)
+	i := 0
+	for i < n {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		start := i
+		last := i // index of the last differing byte in this run
+		j := i + 1
+		for j < n {
+			if twin[j] != cur[j] {
+				last = j
+				j++
+				continue
+			}
+			// A stretch of identical bytes: if shorter than minGap (and
+			// not at end of page), swallow it into the run.
+			g := 0
+			for j+g < n && twin[j+g] == cur[j+g] {
+				g++
+			}
+			if g < minGap && j+g < n {
+				j += g
+				continue
+			}
+			break
+		}
+		data := make([]byte, last+1-start)
+		copy(data, cur[start:last+1])
+		runs = append(runs, Run{Off: start, Data: data})
+		i = j
+	}
+	return Diff{Runs: runs}
+}
+
+// FullPage returns a diff that replaces the entire page — the
+// "send the entire page, not the diff" representation Validate requests
+// for WRITE_ALL / READ&WRITE_ALL reductions.
+func FullPage(cur []byte) Diff {
+	data := make([]byte, len(cur))
+	copy(data, cur)
+	return Diff{Runs: []Run{{Off: 0, Data: data}}}
+}
+
+// Apply writes the diff's runs into dst.
+func (d Diff) Apply(dst []byte) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:], r.Data)
+	}
+}
+
+// WireBytes is the size of the diff on the wire: run payloads plus
+// per-run headers.
+func (d Diff) WireBytes() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += WireHeaderB + len(r.Data)
+	}
+	return n
+}
+
+// Empty reports whether the diff carries no modifications.
+func (d Diff) Empty() bool { return len(d.Runs) == 0 }
+
+// IsFull reports whether the diff replaces the whole page of size
+// pageSize.
+func (d Diff) IsFull(pageSize int) bool {
+	return len(d.Runs) == 1 && d.Runs[0].Off == 0 && len(d.Runs[0].Data) == pageSize
+}
+
+// Twin returns a copy of page suitable for later Encode.
+func Twin(page []byte) []byte {
+	t := make([]byte, len(page))
+	copy(t, page)
+	return t
+}

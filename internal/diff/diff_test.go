@@ -1,0 +1,188 @@
+package diff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeEmpty(t *testing.T) {
+	page := make([]byte, 256)
+	twin := make([]byte, 256)
+	d := Encode(twin, page, 8)
+	if !d.Empty() {
+		t.Fatalf("identical pages produced %d runs", len(d.Runs))
+	}
+	if d.WireBytes() != 0 {
+		t.Fatalf("empty diff has %d wire bytes", d.WireBytes())
+	}
+}
+
+func TestEncodeSingleByte(t *testing.T) {
+	twin := make([]byte, 128)
+	cur := make([]byte, 128)
+	cur[57] = 0xAB
+	d := Encode(twin, cur, 8)
+	if len(d.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(d.Runs))
+	}
+	r := d.Runs[0]
+	if r.Off != 57 || len(r.Data) != 1 || r.Data[0] != 0xAB {
+		t.Fatalf("bad run %+v", r)
+	}
+}
+
+func TestEncodeMergesShortGaps(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[10] = 1
+	cur[14] = 1 // gap of 3 < minGap 8: should merge
+	d := Encode(twin, cur, 8)
+	if len(d.Runs) != 1 {
+		t.Fatalf("want merged single run, got %d runs: %+v", len(d.Runs), d.Runs)
+	}
+	if d.Runs[0].Off != 10 || len(d.Runs[0].Data) != 5 {
+		t.Fatalf("bad merged run %+v", d.Runs[0])
+	}
+}
+
+func TestEncodeSplitsLongGaps(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[5] = 1
+	cur[40] = 1 // gap of 34 >= minGap: two runs
+	d := Encode(twin, cur, 8)
+	if len(d.Runs) != 2 {
+		t.Fatalf("want 2 runs, got %d: %+v", len(d.Runs), d.Runs)
+	}
+}
+
+func TestEncodeModificationAtPageEdges(t *testing.T) {
+	twin := make([]byte, 32)
+	cur := make([]byte, 32)
+	cur[0] = 9
+	cur[31] = 9
+	d := Encode(twin, cur, 4)
+	got := make([]byte, 32)
+	d.Apply(got)
+	if !bytes.Equal(got, cur) {
+		t.Fatalf("apply mismatch at edges")
+	}
+}
+
+func TestApplyRoundTripProperty(t *testing.T) {
+	// Property: for any twin and any set of modifications,
+	// apply(twin, encode(twin, cur)) == cur.
+	f := func(seed int64, size uint8, gap uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size)%512 + 1
+		minGap := int(gap)%16 + 1
+		twin := make([]byte, n)
+		rng.Read(twin)
+		cur := append([]byte(nil), twin...)
+		// Random sparse modifications.
+		for k := 0; k < rng.Intn(20); k++ {
+			cur[rng.Intn(n)] = byte(rng.Int())
+		}
+		d := Encode(twin, cur, minGap)
+		got := append([]byte(nil), twin...)
+		d.Apply(got)
+		return bytes.Equal(got, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunsNeverOverlapAndAreSortedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 256
+		twin := make([]byte, n)
+		rng.Read(twin)
+		cur := append([]byte(nil), twin...)
+		for k := 0; k < rng.Intn(40); k++ {
+			cur[rng.Intn(n)] ^= byte(1 + rng.Intn(255))
+		}
+		d := Encode(twin, cur, 8)
+		prevEnd := -1
+		for _, r := range d.Runs {
+			if r.Off <= prevEnd {
+				return false
+			}
+			if len(r.Data) == 0 {
+				return false
+			}
+			prevEnd = r.Off + len(r.Data) - 1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullPage(t *testing.T) {
+	cur := []byte{1, 2, 3, 4}
+	d := FullPage(cur)
+	if !d.IsFull(4) {
+		t.Fatal("FullPage not recognized as full")
+	}
+	cur[0] = 99 // FullPage must have copied
+	dst := make([]byte, 4)
+	d.Apply(dst)
+	if dst[0] != 1 {
+		t.Fatal("FullPage aliases the source page")
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	d := Diff{Runs: []Run{{Off: 0, Data: make([]byte, 10)}, {Off: 20, Data: make([]byte, 5)}}}
+	want := 2*WireHeaderB + 15
+	if d.WireBytes() != want {
+		t.Fatalf("WireBytes = %d, want %d", d.WireBytes(), want)
+	}
+}
+
+func TestTwinIsACopy(t *testing.T) {
+	page := []byte{1, 2, 3}
+	tw := Twin(page)
+	page[0] = 9
+	if tw[0] != 1 {
+		t.Fatal("Twin aliases the page")
+	}
+}
+
+func TestEncodeLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Encode(make([]byte, 3), make([]byte, 4), 8)
+}
+
+func BenchmarkEncodeSparse(b *testing.B) {
+	twin := make([]byte, 4096)
+	cur := append([]byte(nil), twin...)
+	for i := 0; i < 4096; i += 128 {
+		cur[i] = 1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(twin, cur, 8)
+	}
+}
+
+func BenchmarkEncodeDense(b *testing.B) {
+	twin := make([]byte, 4096)
+	cur := make([]byte, 4096)
+	for i := range cur {
+		cur[i] = byte(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(twin, cur, 8)
+	}
+}

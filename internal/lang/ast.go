@@ -1,0 +1,173 @@
+// The abstract syntax tree of the kernel language.
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed kernel file: declarations plus subroutines.
+type Program struct {
+	Name  string
+	Decls []*Decl
+	Subs  []*Subroutine
+	Main  []Stmt // statements of the main program body
+}
+
+// Sub returns the subroutine with the given (lowercase) name, or nil.
+func (p *Program) Sub(name string) *Subroutine {
+	for _, s := range p.Subs {
+		if s.Name == strings.ToLower(name) {
+			return s
+		}
+	}
+	return nil
+}
+
+// Decl declares one array or scalar.
+type Decl struct {
+	Name   string
+	Shared bool
+	Type   string // "real" or "integer"
+	Dims   []Extent
+}
+
+// Extent is one declared dimension extent (a symbolic or literal bound).
+type Extent struct {
+	// Symbol names the extent (e.g. "n"); Literal holds its value when
+	// numeric. Exactly one is meaningful: Symbol == "" means literal.
+	Symbol  string
+	Literal int
+}
+
+func (e Extent) String() string {
+	if e.Symbol != "" {
+		return e.Symbol
+	}
+	return fmt.Sprint(e.Literal)
+}
+
+// Subroutine is a named statement body.
+type Subroutine struct {
+	Name string
+	Body []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmt()
+	String() string
+}
+
+// Assign is lhs = rhs (lhs is an array reference or scalar).
+type Assign struct {
+	LHS *ArrayRef // nil LHSVar when array
+	Var string    // scalar target when LHS is nil
+	RHS Expr
+}
+
+func (a *Assign) stmt() {}
+func (a *Assign) String() string {
+	if a.LHS != nil {
+		return a.LHS.String() + " = " + a.RHS.String()
+	}
+	return a.Var + " = " + a.RHS.String()
+}
+
+// Do is a counted loop: DO v = lo, hi [, step].
+type Do struct {
+	Var    string
+	Lo, Hi Expr
+	Step   Expr // nil means 1
+	Body   []Stmt
+}
+
+func (d *Do) stmt() {}
+func (d *Do) String() string {
+	s := fmt.Sprintf("do %s = %s, %s", d.Var, d.Lo, d.Hi)
+	if d.Step != nil {
+		s += ", " + d.Step.String()
+	}
+	return s
+}
+
+// Call invokes a subroutine.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (c *Call) stmt() {}
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return "call " + c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// BarrierStmt is an explicit synchronization point.
+type BarrierStmt struct{}
+
+func (b *BarrierStmt) stmt()          {}
+func (b *BarrierStmt) String() string { return "barrier" }
+
+// If is a one-armed conditional (sufficient for the kernels).
+type If struct {
+	Cond Expr
+	Body []Stmt
+}
+
+func (i *If) stmt() {}
+func (i *If) String() string {
+	return "if (" + i.Cond.String() + ") then ..."
+}
+
+// Expr is an expression node.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// Num is a numeric literal.
+type Num struct{ Value float64 }
+
+func (n *Num) expr() {}
+func (n *Num) String() string {
+	if n.Value == float64(int64(n.Value)) {
+		return fmt.Sprint(int64(n.Value))
+	}
+	return fmt.Sprint(n.Value)
+}
+
+// Ident is a scalar variable reference.
+type Ident struct{ Name string }
+
+func (i *Ident) expr()          {}
+func (i *Ident) String() string { return i.Name }
+
+// ArrayRef is a subscripted array reference: Name(Subs...).
+type ArrayRef struct {
+	Name string
+	Subs []Expr
+}
+
+func (a *ArrayRef) expr() {}
+func (a *ArrayRef) String() string {
+	parts := make([]string, len(a.Subs))
+	for i, s := range a.Subs {
+		parts[i] = s.String()
+	}
+	return a.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// BinOp is a binary operation.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+func (b *BinOp) expr() {}
+func (b *BinOp) String() string {
+	return b.L.String() + " " + b.Op + " " + b.R.String()
+}

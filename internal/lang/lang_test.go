@@ -1,0 +1,263 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexKindsAndPositions(t *testing.T) {
+	toks, err := Lex("do i = 1, n\n  x(i) = 2.5 * y\nenddo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "do" {
+		t.Fatalf("tok0 = %v", toks[0])
+	}
+	if toks[0].Line != 1 {
+		t.Fatalf("line = %d", toks[0].Line)
+	}
+	var sawNum bool
+	for _, tk := range toks {
+		if tk.Kind == TokNumber && tk.Text == "2.5" {
+			sawNum = true
+		}
+	}
+	if !sawNum {
+		t.Fatal("float literal not lexed")
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Fatal("no EOF token")
+	}
+}
+
+func TestLexCollapsesNewlines(t *testing.T) {
+	toks, err := Lex("a = 1\n\n\n\nb = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := 0
+	for _, tk := range toks {
+		if tk.Kind == TokNewline {
+			nl++
+		}
+	}
+	if nl != 1 {
+		t.Fatalf("newlines = %d, want 1 (collapsed)", nl)
+	}
+}
+
+func TestLexCaseInsensitiveKeywords(t *testing.T) {
+	toks, err := Lex("DO I = 1, N\nENDDO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "do" {
+		t.Fatalf("uppercase DO not recognized: %v", toks[0])
+	}
+}
+
+func TestLexBadRune(t *testing.T) {
+	if _, err := Lex("a = $"); err == nil {
+		t.Fatal("no error for $")
+	}
+}
+
+func TestParseProgramStructure(t *testing.T) {
+	src := `
+program demo
+shared real a(n), b(n)
+shared integer idx(m)
+private real tmp(n)
+
+do step = 1, nsteps
+  call work()
+  barrier
+enddo
+end
+
+subroutine work()
+do i = lo, hi
+  j = idx(i)
+  tmp(i) = a(j) + b(i)
+enddo
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "demo" {
+		t.Fatalf("name = %q", prog.Name)
+	}
+	if len(prog.Decls) != 4 {
+		t.Fatalf("decls = %d", len(prog.Decls))
+	}
+	shared := 0
+	for _, d := range prog.Decls {
+		if d.Shared {
+			shared++
+		}
+	}
+	if shared != 3 {
+		t.Fatalf("shared decls = %d", shared)
+	}
+	if len(prog.Main) != 1 {
+		t.Fatalf("main stmts = %d", len(prog.Main))
+	}
+	loop, ok := prog.Main[0].(*Do)
+	if !ok {
+		t.Fatalf("main[0] is %T", prog.Main[0])
+	}
+	if len(loop.Body) != 2 {
+		t.Fatalf("loop body = %d stmts", len(loop.Body))
+	}
+	if _, ok := loop.Body[1].(*BarrierStmt); !ok {
+		t.Fatalf("loop.Body[1] is %T, want barrier", loop.Body[1])
+	}
+	sub := prog.Sub("work")
+	if sub == nil || len(sub.Body) != 1 {
+		t.Fatal("subroutine body wrong")
+	}
+}
+
+func TestParseDeclDims(t *testing.T) {
+	prog, err := Parse("program p\nshared real x(3, n)\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Decls[0]
+	if len(d.Dims) != 2 {
+		t.Fatalf("dims = %d", len(d.Dims))
+	}
+	if d.Dims[0].Symbol != "" || d.Dims[0].Literal != 3 {
+		t.Fatalf("dim0 = %+v", d.Dims[0])
+	}
+	if d.Dims[1].Symbol != "n" {
+		t.Fatalf("dim1 = %+v", d.Dims[1])
+	}
+	if d.Dims[0].String() != "3" || d.Dims[1].String() != "n" {
+		t.Fatal("extent strings")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	prog, err := Parse("program p\nv = 1 + 2 * 3\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.Main[0].(*Assign)
+	top, ok := a.RHS.(*BinOp)
+	if !ok || top.Op != "+" {
+		t.Fatalf("top op = %v", a.RHS)
+	}
+	r, ok := top.R.(*BinOp)
+	if !ok || r.Op != "*" {
+		t.Fatalf("* should bind tighter: %v", top.R)
+	}
+}
+
+func TestParseParenthesesAndUnaryMinus(t *testing.T) {
+	prog, err := Parse("program p\nv = -(a + b) * 2\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.Main[0].(*Assign)
+	if !strings.Contains(a.RHS.String(), "a + b") {
+		t.Fatalf("rhs = %s", a.RHS)
+	}
+}
+
+func TestParseDoWithStep(t *testing.T) {
+	prog, err := Parse("program p\ndo i = 1, n, 2\nenddo\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Main[0].(*Do)
+	if d.Step == nil || d.Step.String() != "2" {
+		t.Fatalf("step = %v", d.Step)
+	}
+}
+
+func TestParseIfThen(t *testing.T) {
+	prog, err := Parse("program p\nif (a - b) then\n  c = 1\nendif\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := prog.Main[0].(*If)
+	if len(i.Body) != 1 {
+		t.Fatalf("if body = %d", len(i.Body))
+	}
+}
+
+func TestParseCallArgs(t *testing.T) {
+	prog, err := Parse("program p\ncall f(x, 1 + 2)\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Main[0].(*Call)
+	if c.Name != "f" || len(c.Args) != 2 {
+		t.Fatalf("call = %v", c)
+	}
+}
+
+func TestStmtStrings(t *testing.T) {
+	src := `
+program p
+shared real a(n)
+do i = 1, n, 2
+  a(i) = a(i) + 1
+enddo
+call f()
+barrier
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Main[0].String(); got != "do i = 1, n, 2" {
+		t.Fatalf("do string = %q", got)
+	}
+	if got := prog.Main[1].String(); got != "call f()" {
+		t.Fatalf("call string = %q", got)
+	}
+	if got := prog.Main[2].String(); got != "barrier" {
+		t.Fatalf("barrier string = %q", got)
+	}
+	inner := prog.Main[0].(*Do).Body[0]
+	if got := inner.String(); got != "a(i) = a(i) + 1" {
+		t.Fatalf("assign string = %q", got)
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Parse("program p\n\n\ndo i = \nend")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error lacks line: %v", err)
+	}
+}
+
+func TestSubLookupIsCaseInsensitive(t *testing.T) {
+	prog, err := Parse("program p\nsubroutine work()\nend\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Sub("WORK") == nil {
+		t.Fatal("Sub lookup should be case-insensitive")
+	}
+	if prog.Sub("missing") != nil {
+		t.Fatal("missing sub found")
+	}
+}
+
+func TestNumString(t *testing.T) {
+	if (&Num{Value: 3}).String() != "3" {
+		t.Fatal("integer-valued Num")
+	}
+	if (&Num{Value: 2.5}).String() != "2.5" {
+		t.Fatal("fractional Num")
+	}
+}

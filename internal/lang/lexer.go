@@ -1,0 +1,158 @@
+// Package lang implements the kernel description language the compiler
+// front-end consumes: a small Fortran-flavored language sufficient to
+// express the paper's irregular kernels (Figure 1's moldyn and the nbf
+// force loop) — shared-array declarations, DO loops, assignments, and
+// array references with affine or indirection-mediated subscripts.
+//
+// The paper's front-end is built inside the Parascope programming
+// environment on Fortran 77; this package is the equivalent substrate at
+// the scale the paper's analysis actually needs (see DESIGN.md §2).
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokKeyword
+	TokOp      // + - * / = ( ) , :
+	TokNewline // statement separator
+)
+
+// Keywords of the kernel language (case-insensitive, Fortran style).
+var keywords = map[string]bool{
+	"program": true, "end": true, "subroutine": true, "shared": true,
+	"private": true, "real": true, "integer": true, "do": true,
+	"enddo": true, "call": true, "if": true, "then": true, "endif": true,
+	"dimension": true, "barrier": true,
+}
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokNewline:
+		return "<newline>"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Lexer tokenizes kernel source.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex returns the full token stream (excluding comments, with runs of
+// newlines collapsed).
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokNewline && len(toks) > 0 && toks[len(toks)-1].Kind == TokNewline {
+			continue
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	// Skip spaces, tabs, and comments (! to end of line, Fortran-90
+	// style; also lines starting with C or * in column 1 would be
+	// comments in fixed form, but we use free form).
+	for {
+		r := lx.peek()
+		if r == ' ' || r == '\t' || r == '\r' {
+			lx.advance()
+			continue
+		}
+		if r == '!' {
+			for lx.peek() != '\n' && lx.peek() != 0 {
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	line, col := lx.line, lx.col
+	r := lx.peek()
+	switch {
+	case r == 0:
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	case r == '\n':
+		lx.advance()
+		return Token{Kind: TokNewline, Text: "\n", Line: line, Col: col}, nil
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for unicode.IsLetter(lx.peek()) || unicode.IsDigit(lx.peek()) || lx.peek() == '_' {
+			sb.WriteRune(lx.advance())
+		}
+		word := strings.ToLower(sb.String())
+		if keywords[word] {
+			return Token{Kind: TokKeyword, Text: word, Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Line: line, Col: col}, nil
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		for unicode.IsDigit(lx.peek()) || lx.peek() == '.' {
+			sb.WriteRune(lx.advance())
+		}
+		return Token{Kind: TokNumber, Text: sb.String(), Line: line, Col: col}, nil
+	case strings.ContainsRune("+-*/=(),:<>", r):
+		lx.advance()
+		return Token{Kind: TokOp, Text: string(r), Line: line, Col: col}, nil
+	default:
+		return Token{}, fmt.Errorf("line %d:%d: unexpected character %q", line, col, r)
+	}
+}

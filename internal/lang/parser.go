@@ -1,0 +1,476 @@
+// Recursive-descent parser for the kernel language.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a kernel source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("line %d: %s (at %s)", t.Line, fmt.Sprintf(format, args...), t)
+}
+
+func (p *parser) skipNewlines() {
+	for p.cur().Kind == TokNewline {
+		p.next()
+	}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return p.errf("expected %q", kw)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	t := p.cur()
+	if t.Kind != TokOp || t.Text != op {
+		return p.errf("expected %q", op)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.cur().Kind == TokOp && p.cur().Text == op {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return "", p.errf("expected identifier")
+	}
+	p.next()
+	return t.Text, nil
+}
+
+// program := "program" ident NL {decl} {stmt} {subroutine} "end"
+func (p *parser) program() (*Program, error) {
+	p.skipNewlines()
+	if err := p.expectKeyword("program"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name}
+	p.skipNewlines()
+	// Declarations.
+	for p.cur().Kind == TokKeyword &&
+		(p.cur().Text == "shared" || p.cur().Text == "private" ||
+			p.cur().Text == "real" || p.cur().Text == "integer") {
+		ds, err := p.declLine()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, ds...)
+		p.skipNewlines()
+	}
+	// Main body statements until "end" or a subroutine.
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == TokKeyword && t.Text == "end" {
+			p.next()
+			break
+		}
+		if t.Kind == TokKeyword && t.Text == "subroutine" {
+			break
+		}
+		if t.Kind == TokEOF {
+			return nil, p.errf("unexpected end of file in program body")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Main = append(prog.Main, s)
+	}
+	// Subroutines.
+	for {
+		p.skipNewlines()
+		if p.cur().Kind == TokEOF {
+			break
+		}
+		if p.cur().Kind == TokKeyword && p.cur().Text == "subroutine" {
+			sub, err := p.subroutine()
+			if err != nil {
+				return nil, err
+			}
+			prog.Subs = append(prog.Subs, sub)
+			continue
+		}
+		if p.cur().Kind == TokKeyword && p.cur().Text == "end" {
+			p.next()
+			continue
+		}
+		return nil, p.errf("expected subroutine or end")
+	}
+	return prog, nil
+}
+
+// declLine := ["shared"|"private"] ("real"|"integer") name(dims) {, name(dims)}
+func (p *parser) declLine() ([]*Decl, error) {
+	shared := false
+	if p.cur().Kind == TokKeyword && (p.cur().Text == "shared" || p.cur().Text == "private") {
+		shared = p.cur().Text == "shared"
+		p.next()
+	}
+	t := p.cur()
+	if t.Kind != TokKeyword || (t.Text != "real" && t.Text != "integer") {
+		return nil, p.errf("expected type keyword")
+	}
+	typ := t.Text
+	p.next()
+	var out []*Decl
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := &Decl{Name: name, Shared: shared, Type: typ}
+		if p.acceptOp("(") {
+			for {
+				ext, err := p.extent()
+				if err != nil {
+					return nil, err
+				}
+				d.Dims = append(d.Dims, ext)
+				if p.acceptOp(")") {
+					break
+				}
+				if err := p.expectOp(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out = append(out, d)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) extent() (Extent, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent:
+		p.next()
+		return Extent{Symbol: t.Text}, nil
+	case TokNumber:
+		p.next()
+		v, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return Extent{}, p.errf("bad extent %q", t.Text)
+		}
+		return Extent{Literal: v}, nil
+	}
+	return Extent{}, p.errf("expected extent")
+}
+
+// subroutine := "subroutine" ident [()] NL {stmt} "end"
+func (p *parser) subroutine() (*Subroutine, error) {
+	if err := p.expectKeyword("subroutine"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptOp("(") {
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	sub := &Subroutine{Name: name}
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == TokKeyword && t.Text == "end" {
+			p.next()
+			return sub, nil
+		}
+		if t.Kind == TokEOF {
+			return nil, p.errf("unexpected EOF in subroutine %s", name)
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		sub.Body = append(sub.Body, s)
+	}
+}
+
+// statement := do | call | barrier | if | assignment
+func (p *parser) statement() (Stmt, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "do":
+			return p.doLoop()
+		case "call":
+			return p.call()
+		case "barrier":
+			p.next()
+			return &BarrierStmt{}, nil
+		case "if":
+			return p.ifStmt()
+		}
+		return nil, p.errf("unexpected keyword %q", t.Text)
+	}
+	return p.assignment()
+}
+
+func (p *parser) doLoop() (Stmt, error) {
+	p.next() // do
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	lo, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(","); err != nil {
+		return nil, err
+	}
+	hi, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	var step Expr
+	if p.acceptOp(",") {
+		step, err = p.expression()
+		if err != nil {
+			return nil, err
+		}
+	}
+	d := &Do{Var: v, Lo: lo, Hi: hi, Step: step}
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == TokKeyword && t.Text == "enddo" {
+			p.next()
+			return d, nil
+		}
+		if t.Kind == TokEOF {
+			return nil, p.errf("unexpected EOF in do loop")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		d.Body = append(d.Body, s)
+	}
+}
+
+func (p *parser) call() (Stmt, error) {
+	p.next() // call
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	c := &Call{Name: name}
+	if p.acceptOp("(") {
+		if !p.acceptOp(")") {
+			for {
+				e, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, e)
+				if p.acceptOp(")") {
+					break
+				}
+				if err := p.expectOp(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.next() // if
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("then"); err != nil {
+		return nil, err
+	}
+	stmt := &If{Cond: cond}
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == TokKeyword && t.Text == "endif" {
+			p.next()
+			return stmt, nil
+		}
+		if t.Kind == TokEOF {
+			return nil, p.errf("unexpected EOF in if")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Body = append(stmt.Body, s)
+	}
+}
+
+// assignment := (ident | arrayref) "=" expression
+func (p *parser) assignment() (Stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	a := &Assign{}
+	if p.cur().Kind == TokOp && p.cur().Text == "(" {
+		ref, err := p.arrayRefAfterName(name)
+		if err != nil {
+			return nil, err
+		}
+		a.LHS = ref
+	} else {
+		a.Var = name
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	a.RHS = rhs
+	return a, nil
+}
+
+func (p *parser) arrayRefAfterName(name string) (*ArrayRef, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	ref := &ArrayRef{Name: name}
+	for {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		ref.Subs = append(ref.Subs, e)
+		if p.acceptOp(")") {
+			return ref, nil
+		}
+		if err := p.expectOp(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// expression := term {("+"|"-") term}
+func (p *parser) expression() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOp && (p.cur().Text == "+" || p.cur().Text == "-") {
+		op := p.next().Text
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+// term := factor {("*"|"/") factor}
+func (p *parser) term() (Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOp && (p.cur().Text == "*" || p.cur().Text == "/") {
+		op := p.next().Text
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+// factor := number | ident [(subs)] | "(" expression ")" | "-" factor
+func (p *parser) factor() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &Num{Value: v}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.cur().Kind == TokOp && p.cur().Text == "(" {
+			return p.arrayRefAfterName(t.Text)
+		}
+		return &Ident{Name: t.Text}, nil
+	case t.Kind == TokOp && t.Text == "(":
+		p.next()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokOp && t.Text == "-":
+		p.next()
+		e, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: "-", L: &Num{Value: 0}, R: e}, nil
+	}
+	return nil, p.errf("expected expression")
+}

@@ -1,0 +1,111 @@
+package rsd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearOffsetsMatchesForEachProperty(t *testing.T) {
+	// LinearOffsets must enumerate exactly the column-major positions
+	// ForEach visits.
+	f := func(lo1, n1, lo2, n2, st uint8) bool {
+		d1 := Dim{Lo: int(lo1 % 4), Hi: int(lo1%4) + int(n1%5), Stride: 1}
+		d2 := Dim{Lo: int(lo2 % 6), Hi: int(lo2%6) + int(n2%6), Stride: int(st%2) + 1}
+		s := New(d1, d2)
+		sizes := []int{d1.Hi + 1, d2.Hi + 1}
+		strideRow := sizes[0]
+		var want []int
+		s.ForEach(func(idx []int) {
+			want = append(want, idx[0]+idx[1]*strideRow)
+		})
+		got := s.LinearOffsets(sizes)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectCommutativeProperty(t *testing.T) {
+	f := func(a1, b1, a2, b2 uint8) bool {
+		x := New(Dim{int(a1 % 30), int(a1%30) + int(b1%20), 1})
+		y := New(Dim{int(a2 % 30), int(a2%30) + int(b2%20), 1})
+		ix, okx := x.Intersect(y)
+		iy, oky := y.Intersect(x)
+		if okx != oky {
+			return false
+		}
+		return !okx || ix.Equal(iy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectWithSelfCoversSameElementsProperty(t *testing.T) {
+	// Self-intersection may canonicalize a non-lattice-aligned Hi, so
+	// compare element sets rather than structure.
+	f := func(lo, n, st uint8) bool {
+		s := New(Dim{int(lo % 40), int(lo%40) + int(n%25), int(st%3) + 1})
+		if s.Empty() {
+			return true
+		}
+		i, ok := s.Intersect(s)
+		if !ok || i.Count() != s.Count() {
+			return false
+		}
+		same := true
+		s.ForEach(func(idx []int) {
+			if !i.Contains(idx[0]) {
+				same = false
+			}
+		})
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsConsistentWithForEachProperty(t *testing.T) {
+	f := func(lo, n, st, probe uint8) bool {
+		s := New(Dim{int(lo % 20), int(lo%20) + int(n%15), int(st%3) + 1})
+		p := int(probe % 64)
+		member := false
+		s.ForEach(func(idx []int) {
+			if idx[0] == p {
+				member = true
+			}
+		})
+		return s.Contains(p) == member
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDimSectionForEach(t *testing.T) {
+	s := Section{}
+	calls := 0
+	s.ForEach(func([]int) { calls++ })
+	if calls != 0 {
+		t.Fatal("empty-arity section visited elements")
+	}
+}
+
+func TestNegativeStridePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-positive stride")
+		}
+	}()
+	Dim{0, 10, 0}.Count()
+}

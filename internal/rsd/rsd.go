@@ -1,0 +1,219 @@
+// Package rsd implements regular section descriptors (RSDs), the
+// compiler's concise representation of array accesses in a loop nest
+// (Havlak & Kennedy's bounded regular section analysis, cited by the
+// paper as its main analysis tool). An RSD gives, per array dimension, a
+// lower bound, upper bound, and stride; the paper's compiler support
+// consists of computing the RSD of the indirection-array section each
+// processor traverses and handing it to Validate.
+package rsd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dim is one dimension of a section: the inclusive Fortran-style range
+// Lo:Hi:Stride.
+type Dim struct {
+	Lo, Hi, Stride int
+}
+
+// Count returns the number of indices the dimension covers.
+func (d Dim) Count() int {
+	if d.Stride <= 0 {
+		panic("rsd: non-positive stride")
+	}
+	if d.Hi < d.Lo {
+		return 0
+	}
+	return (d.Hi-d.Lo)/d.Stride + 1
+}
+
+// Contains reports whether i lies on the dimension's lattice.
+func (d Dim) Contains(i int) bool {
+	return i >= d.Lo && i <= d.Hi && (i-d.Lo)%d.Stride == 0
+}
+
+// Section is an RSD: one Dim per array dimension, in Fortran
+// (column-major, leftmost fastest) order.
+type Section struct {
+	Dims []Dim
+}
+
+// New builds a section from (lo, hi, stride) triples.
+func New(dims ...Dim) Section {
+	return Section{Dims: dims}
+}
+
+// Range1 builds a one-dimensional dense section lo:hi.
+func Range1(lo, hi int) Section {
+	return Section{Dims: []Dim{{Lo: lo, Hi: hi, Stride: 1}}}
+}
+
+// Count returns the number of elements in the section.
+func (s Section) Count() int {
+	n := 1
+	for _, d := range s.Dims {
+		n *= d.Count()
+	}
+	return n
+}
+
+// Empty reports whether the section covers no elements.
+func (s Section) Empty() bool { return s.Count() == 0 }
+
+// Contains reports whether the index tuple idx (one entry per dimension)
+// is in the section.
+func (s Section) Contains(idx ...int) bool {
+	if len(idx) != len(s.Dims) {
+		panic("rsd: index arity mismatch")
+	}
+	for i, d := range s.Dims {
+		if !d.Contains(idx[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach visits every index tuple in the section in column-major order
+// (leftmost dimension varying fastest, matching Fortran array layout).
+// The callback receives a reused slice; it must not retain it.
+func (s Section) ForEach(f func(idx []int)) {
+	if len(s.Dims) == 0 {
+		return
+	}
+	idx := make([]int, len(s.Dims))
+	for i, d := range s.Dims {
+		if d.Count() == 0 {
+			return
+		}
+		idx[i] = d.Lo
+	}
+	for {
+		f(idx)
+		// Column-major increment.
+		k := 0
+		for {
+			idx[k] += s.Dims[k].Stride
+			if idx[k] <= s.Dims[k].Hi {
+				break
+			}
+			idx[k] = s.Dims[k].Lo
+			k++
+			if k == len(s.Dims) {
+				return
+			}
+		}
+	}
+}
+
+// Intersect returns the intersection of two sections with the same
+// arity, and whether it is non-empty. Strides must match for exact
+// intersection; mismatched strides fall back to the conservative
+// (dense-stride) hull, which is sound for invalidation-style uses.
+func (s Section) Intersect(o Section) (Section, bool) {
+	if len(s.Dims) != len(o.Dims) {
+		panic("rsd: arity mismatch in Intersect")
+	}
+	out := Section{Dims: make([]Dim, len(s.Dims))}
+	for i := range s.Dims {
+		a, b := s.Dims[i], o.Dims[i]
+		lo := max(a.Lo, b.Lo)
+		hi := min(a.Hi, b.Hi)
+		if hi < lo {
+			return Section{}, false
+		}
+		stride := 1
+		if a.Stride == b.Stride {
+			stride = a.Stride
+			// Align lo to both lattices.
+			if (lo-a.Lo)%stride != 0 {
+				lo += stride - (lo-a.Lo)%stride
+			}
+			if (lo-b.Lo)%stride != 0 {
+				// The two lattices are offset; with equal strides they
+				// either coincide or are disjoint.
+				return Section{}, false
+			}
+			if hi < lo {
+				return Section{}, false
+			}
+			hi = lo + (hi-lo)/stride*stride
+		}
+		out.Dims[i] = Dim{Lo: lo, Hi: hi, Stride: stride}
+	}
+	return out, true
+}
+
+// Overlaps reports whether the sections share at least one element
+// (conservatively true for offset lattices with unequal strides).
+func (s Section) Overlaps(o Section) bool {
+	_, ok := s.Intersect(o)
+	return ok
+}
+
+// Equal reports structural equality.
+func (s Section) Equal(o Section) bool {
+	if len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		if s.Dims[i] != o.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the section in Fortran triplet notation, e.g.
+// "[1:2:1, 5:100:1]".
+func (s Section) String() string {
+	parts := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		if d.Stride == 1 {
+			parts[i] = fmt.Sprintf("%d:%d", d.Lo, d.Hi)
+		} else {
+			parts[i] = fmt.Sprintf("%d:%d:%d", d.Lo, d.Hi, d.Stride)
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// LinearOffsets returns the flat (column-major) element offsets the
+// section covers within an array of the given dimension sizes. Dims of
+// the array are sizes per dimension; indices are zero-based.
+func (s Section) LinearOffsets(sizes []int) []int {
+	if len(sizes) != len(s.Dims) {
+		panic("rsd: sizes arity mismatch")
+	}
+	strides := make([]int, len(sizes))
+	acc := 1
+	for i, n := range sizes {
+		strides[i] = acc
+		acc *= n
+	}
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(idx []int) {
+		off := 0
+		for i, v := range idx {
+			off += v * strides[i]
+		}
+		out = append(out, off)
+	})
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

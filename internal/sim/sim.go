@@ -1,0 +1,576 @@
+// Package sim provides the simulated distributed-memory cluster on which
+// the rest of the system runs: a set of processors (one goroutine each)
+// connected by a message layer with a latency/bandwidth cost model, plus
+// per-processor simulated clocks and cluster-wide traffic statistics.
+//
+// The paper's experiments run on an 8-processor IBM SP2; this package is
+// the stand-in for that machine. Time is simulated, not measured:
+// processors advance their local clocks by calibrated costs (compute,
+// message latency, bandwidth, interrupt handling) and clocks are merged
+// with Lamport-style max rules at messages and barriers. Because all
+// merge operations are max/plus — commutative and associative — the final
+// simulated times are deterministic for barrier-synchronized programs
+// regardless of goroutine scheduling.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Config describes the simulated machine. All costs are in microseconds
+// (us) or bytes; defaults approximate a late-90s IBM SP2 thin node with
+// the high-performance switch, which is what shapes the paper's numbers:
+// message software overhead dominates, bandwidth is tens of MB/s, and a
+// page fault / signal delivery costs tens of microseconds.
+type Config struct {
+	Procs int // number of simulated processors
+
+	// Network model.
+	LatencyUS   float64 // one-way per-message latency (software + wire)
+	BytesPerUS  float64 // bandwidth in bytes per microsecond (B/us == MB/s)
+	MsgHeaderB  int     // fixed per-message header bytes
+	MaxMsgB     int     // fragmentation threshold: larger transfers count as multiple messages
+	InterruptUS float64 // cost charged to a processor interrupted to service a request
+
+	// Memory-management model.
+	PageFaultUS  float64 // trap + handler dispatch for one protection violation
+	TwinUSPerB   float64 // copying one byte when creating a twin
+	DiffUSPerB   float64 // scanning one byte when creating a diff
+	ApplyUSPerB  float64 // applying one diff byte to a page
+	BarrierMgrUS float64 // barrier manager bookkeeping per arrival
+}
+
+// DefaultConfig returns the SP2-like machine used throughout the
+// reproduction. See DESIGN.md §2 for the calibration rationale.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:        procs,
+		LatencyUS:    85,
+		BytesPerUS:   40, // 40 MB/s
+		MsgHeaderB:   32,
+		MaxMsgB:      16384,
+		InterruptUS:  45,
+		PageFaultUS:  35,
+		TwinUSPerB:   0.010,
+		DiffUSPerB:   0.012,
+		ApplyUSPerB:  0.008,
+		BarrierMgrUS: 15,
+	}
+}
+
+// XferUS returns the time to move n payload bytes (plus header) across
+// one link, excluding latency.
+func (c *Config) XferUS(n int) float64 {
+	return float64(n+c.MsgHeaderB) / c.BytesPerUS
+}
+
+// Frags returns the number of wire messages an n-byte payload occupies:
+// transfers larger than MaxMsgB fragment (the fragments pipeline, so
+// only the message count — not the latency — is affected).
+func (c *Config) Frags(n int) int64 {
+	if c.MaxMsgB <= 0 {
+		return 1
+	}
+	f := int64((n + c.MsgHeaderB + c.MaxMsgB - 1) / c.MaxMsgB)
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Stats accumulates cluster-wide message traffic, broken down by
+// category. Categories are free-form strings chosen by the protocol
+// layers (e.g. "diff.req", "barrier", "chaos.gather").
+type Stats struct {
+	mu    sync.Mutex
+	byCat map[string]*CatStat
+}
+
+// CatStat is the traffic within one category.
+type CatStat struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Count records msgs messages totalling bytes payload bytes in category cat.
+func (s *Stats) Count(cat string, msgs, bytes int64) {
+	s.mu.Lock()
+	cs := s.byCat[cat]
+	if cs == nil {
+		cs = &CatStat{}
+		s.byCat[cat] = cs
+	}
+	cs.Messages += msgs
+	cs.Bytes += bytes
+	s.mu.Unlock()
+}
+
+// Totals returns the total messages and bytes across all categories.
+func (s *Stats) Totals() (msgs, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cs := range s.byCat {
+		msgs += cs.Messages
+		bytes += cs.Bytes
+	}
+	return
+}
+
+// Categories returns a sorted snapshot of per-category traffic.
+func (s *Stats) Categories() map[string]CatStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]CatStat, len(s.byCat))
+	for k, v := range s.byCat {
+		out[k] = *v
+	}
+	return out
+}
+
+// String formats the statistics, one category per line, sorted.
+func (s *Stats) String() string {
+	cats := s.Categories()
+	keys := make([]string, 0, len(cats))
+	for k := range cats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%-16s %8d msgs %12d bytes\n", k, cats[k].Messages, cats[k].Bytes)
+	}
+	return out
+}
+
+// Reset clears all counters.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	s.byCat = map[string]*CatStat{}
+	s.mu.Unlock()
+}
+
+// Handler services one request on the target processor. It is invoked
+// "in interrupt context": the target's main thread keeps running, but is
+// charged Config.InterruptUS plus the handler cost the handler reports.
+// from is the requesting processor id; the returned respBytes is the
+// payload size of the response, and handlerUS the compute time spent
+// servicing the request.
+type Handler func(from int, req any) (resp any, respBytes int, handlerUS float64)
+
+// Cluster is a set of simulated processors sharing a network.
+type Cluster struct {
+	cfg   Config
+	procs []*Proc
+	Stats Stats
+
+	barMu    sync.Mutex
+	barriers map[int]*barrier
+}
+
+// NewCluster builds a cluster with cfg.Procs processors.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Procs <= 0 {
+		panic("sim: cluster needs at least one processor")
+	}
+	c := &Cluster{cfg: cfg, barriers: map[int]*barrier{}}
+	c.Stats.Reset()
+	for i := 0; i < cfg.Procs; i++ {
+		p := &Proc{id: i, c: c, handlers: map[string]Handler{}}
+		p.mailboxes = map[string]chan envelope{}
+		c.procs = append(c.procs, p)
+	}
+	return c
+}
+
+// Config returns the cluster's machine description.
+func (c *Cluster) Config() *Config { return &c.cfg }
+
+// NProcs returns the number of processors.
+func (c *Cluster) NProcs() int { return len(c.procs) }
+
+// Proc returns processor i.
+func (c *Cluster) Proc(i int) *Proc { return c.procs[i] }
+
+// Run executes body once per processor, each on its own goroutine, and
+// waits for all of them to return. This is the SPMD entry point.
+func (c *Cluster) Run(body func(p *Proc)) {
+	var wg sync.WaitGroup
+	for _, p := range c.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// MaxTime returns the largest simulated time across processors (clock
+// plus interrupt-service aggregate) — the simulated makespan.
+func (c *Cluster) MaxTime() float64 {
+	m := 0.0
+	for _, p := range c.procs {
+		if t := p.Time(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// ResetClocks zeroes all processor clocks (used to exclude untimed
+// initialization, as the paper does).
+func (c *Cluster) ResetClocks() {
+	for _, p := range c.procs {
+		p.mu.Lock()
+		p.clock = 0
+		p.busyUS = 0
+		p.intrUS = 0
+		p.mu.Unlock()
+	}
+}
+
+// Proc is one simulated processor. Exactly one goroutine (the one given
+// to Cluster.Run) plays the role of its CPU; request handlers run in
+// interrupt context on behalf of other processors and only touch the
+// clock through chargeInterrupt.
+type Proc struct {
+	id int
+	c  *Cluster
+
+	mu     sync.Mutex // protects clock, busyUS and intrUS
+	clock  float64    // simulated local time, us
+	busyUS float64    // time spent in local compute (for utilization reporting)
+	intrUS float64    // accumulated interrupt-service time (see chargeInterrupt)
+
+	hmu      sync.RWMutex
+	handlers map[string]Handler
+
+	mbMu      sync.Mutex
+	mailboxes map[string]chan envelope
+}
+
+type envelope struct {
+	from    int
+	sentAt  float64
+	payload any
+	bytes   int
+}
+
+// ID returns the processor id in [0, NProcs).
+func (p *Proc) ID() int { return p.id }
+
+// Cluster returns the owning cluster.
+func (p *Proc) Cluster() *Cluster { return p.c }
+
+// NProcs returns the cluster size.
+func (p *Proc) NProcs() int { return len(p.c.procs) }
+
+// Config returns the machine description.
+func (p *Proc) Config() *Config { return &p.c.cfg }
+
+// Clock returns the current simulated local time in microseconds.
+func (p *Proc) Clock() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clock
+}
+
+// BusyUS returns the accumulated local compute time.
+func (p *Proc) BusyUS() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.busyUS
+}
+
+// Advance charges dt microseconds of local computation.
+func (p *Proc) Advance(dt float64) {
+	if dt < 0 {
+		panic("sim: negative time advance")
+	}
+	p.mu.Lock()
+	p.clock += dt
+	p.busyUS += dt
+	p.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to at least t (message causality).
+// Protocol layers use it when they model an exchange's timing manually.
+func (p *Proc) AdvanceTo(t float64) { p.advanceTo(t) }
+
+// advanceTo moves the clock forward to at least t (message causality).
+func (p *Proc) advanceTo(t float64) {
+	p.mu.Lock()
+	if t > p.clock {
+		p.clock = t
+	}
+	p.mu.Unlock()
+}
+
+// chargeInterrupt records the cost of being interrupted to service a
+// remote request. The charge accumulates in a side counter rather than
+// the clock itself: folding it into the clock mid-run would make the
+// target's barrier-arrival times depend on the real-time interleaving of
+// handler execution, destroying determinism. Instead the aggregate is
+// added to the processor's final time (Time, Cluster.MaxTime). This
+// uniformly under-weights queueing effects for all systems compared,
+// which preserves the relative shapes the reproduction targets.
+func (p *Proc) chargeInterrupt(us float64) {
+	p.mu.Lock()
+	p.intrUS += us
+	p.mu.Unlock()
+}
+
+// InterruptUS returns the accumulated request-service time.
+func (p *Proc) InterruptUS() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.intrUS
+}
+
+// Time returns the processor's total simulated time including the
+// interrupt-service aggregate.
+func (p *Proc) Time() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clock + p.intrUS
+}
+
+// RegisterHandler installs the service routine for request kind. The
+// protocol layers call this during setup, before Cluster.Run.
+func (p *Proc) RegisterHandler(kind string, h Handler) {
+	p.hmu.Lock()
+	p.handlers[kind] = h
+	p.hmu.Unlock()
+}
+
+// CallSpec names one request in a parallel request fan-out.
+type CallSpec struct {
+	Target   int
+	Kind     string
+	Req      any
+	ReqBytes int
+}
+
+// Call performs a request/response exchange with target: two messages
+// (the TreadMarks access-miss pattern the paper contrasts with CHAOS's
+// one-message push). The caller blocks; its clock advances by the full
+// round trip including the remote handler time. Stat category is kind.
+func (p *Proc) Call(target int, kind string, req any, reqBytes int) any {
+	rs := p.CallMulti([]CallSpec{{Target: target, Kind: kind, Req: req, ReqBytes: reqBytes}})
+	return rs[0]
+}
+
+// CallMulti issues several requests concurrently (the aggregated
+// prefetch pattern: one exchange per remote processor, all overlapped).
+// The caller's clock advances by the maximum round-trip time among the
+// requests, not the sum. Responses are returned in request order.
+func (p *Proc) CallMulti(specs []CallSpec) []any {
+	cfg := &p.c.cfg
+	t0 := p.Clock()
+	resps := make([]any, len(specs))
+	done := t0
+	for i, s := range specs {
+		if s.Target == p.id {
+			panic("sim: self-call")
+		}
+		tgt := p.c.procs[s.Target]
+		tgt.hmu.RLock()
+		h := tgt.handlers[s.Kind]
+		tgt.hmu.RUnlock()
+		if h == nil {
+			panic(fmt.Sprintf("sim: proc %d has no handler for %q", s.Target, s.Kind))
+		}
+		resp, respBytes, handlerUS := h(p.id, s.Req)
+		tgt.chargeInterrupt(cfg.InterruptUS + handlerUS)
+		rtt := cfg.LatencyUS + cfg.XferUS(s.ReqBytes) + // request
+			handlerUS +
+			cfg.LatencyUS + cfg.XferUS(respBytes) // response
+		if t0+rtt > done {
+			done = t0 + rtt
+		}
+		p.c.Stats.Count(s.Kind, cfg.Frags(s.ReqBytes)+cfg.Frags(respBytes),
+			int64(s.ReqBytes+respBytes+2*cfg.MsgHeaderB))
+		resps[i] = resp
+	}
+	p.advanceTo(done)
+	return resps
+}
+
+// Send delivers a one-way message to target's mailbox for (kind, tag)
+// (the CHAOS executor push pattern: one message, no response). The tag
+// separates communication phases so a fast peer's next-phase message is
+// never consumed by the current phase; traffic is counted under kind
+// alone. The sender's clock is charged only the injection overhead; the
+// receiver pays latency + transfer when it Recvs.
+func (p *Proc) Send(target int, kind string, tag int, payload any, bytes int) {
+	cfg := &p.c.cfg
+	if target == p.id {
+		panic("sim: self-send")
+	}
+	sentAt := p.Clock()
+	// Injection software overhead on the sender.
+	p.Advance(cfg.XferUS(bytes) / 2)
+	tgt := p.c.procs[target]
+	tgt.mailbox(kind, tag) <- envelope{from: p.id, sentAt: sentAt, payload: payload, bytes: bytes}
+	p.c.Stats.Count(kind, cfg.Frags(bytes), int64(bytes+cfg.MsgHeaderB))
+}
+
+// Recv blocks until a message of the given kind and tag arrives, merges
+// the sender's causal time into the local clock, and returns the payload.
+func (p *Proc) Recv(kind string, tag int) (from int, payload any) {
+	cfg := &p.c.cfg
+	env := <-p.mailbox(kind, tag)
+	p.advanceTo(env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes))
+	return env.from, env.payload
+}
+
+func (p *Proc) mailbox(kind string, tag int) chan envelope {
+	key := fmt.Sprintf("%s#%d", kind, tag)
+	p.mbMu.Lock()
+	defer p.mbMu.Unlock()
+	mb := p.mailboxes[key]
+	if mb == nil {
+		mb = make(chan envelope, 4*len(p.c.procs))
+		p.mailboxes[key] = mb
+	}
+	return mb
+}
+
+// CombineFunc merges the per-processor barrier contributions (indexed by
+// processor id) into per-processor replies and their payload sizes. It
+// runs once per barrier episode, on the manager, and its cost in
+// microseconds is the third return value.
+type CombineFunc func(contrib []any) (replies []any, replyBytes []int, combineUS float64)
+
+type barrier struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	gen         int64
+	waiting     int
+	contrib     []any
+	cbytes      []int
+	arrive      []float64
+	replies     []any
+	rbytesStash []int
+	release     float64
+}
+
+func (c *Cluster) barrierFor(id int) *barrier {
+	c.barMu.Lock()
+	defer c.barMu.Unlock()
+	b := c.barriers[id]
+	if b == nil {
+		n := len(c.procs)
+		b = &barrier{contrib: make([]any, n), cbytes: make([]int, n), arrive: make([]float64, n)}
+		b.cond = sync.NewCond(&b.mu)
+		c.barriers[id] = b
+	}
+	return b
+}
+
+// Barrier performs a plain barrier with no data exchange.
+func (p *Proc) Barrier(id int) {
+	p.BarrierExchange(id, nil, 0, nil)
+}
+
+// BarrierExchange implements the centralized barrier of TreadMarks (the
+// manager is processor 0): each arrival sends one message to the
+// manager carrying `data` (`bytes` payload bytes); when the last
+// processor arrives, `combine` merges the contributions; each processor
+// then receives one release message carrying its reply. Message count is
+// 2*(N-1) per episode plus payload bytes, charged to category "barrier".
+// The returned value is this processor's reply (nil if combine is nil).
+func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc) any {
+	cfg := &p.c.cfg
+	n := len(p.c.procs)
+	if n == 1 {
+		if combine != nil {
+			replies, _, us := combine([]any{data})
+			p.Advance(us)
+			if len(replies) > 0 {
+				return replies[0]
+			}
+		}
+		return nil
+	}
+	b := p.c.barrierFor(id)
+
+	arriveAt := p.Clock()
+	if p.id != 0 {
+		// Arrival message to the manager.
+		arriveAt += cfg.LatencyUS + cfg.XferUS(bytes)
+		p.c.Stats.Count("barrier", cfg.Frags(bytes), int64(bytes+cfg.MsgHeaderB))
+	}
+
+	b.mu.Lock()
+	gen := b.gen
+	b.contrib[p.id] = data
+	b.cbytes[p.id] = bytes
+	b.arrive[p.id] = arriveAt
+	b.waiting++
+	if b.waiting == n {
+		// Last arriver: run the manager logic. The manager's own
+		// processor is proc 0 conceptually, but since clocks only merge
+		// through max rules the release time is identical no matter
+		// which goroutine computes it.
+		last := 0.0
+		for _, t := range b.arrive {
+			if t > last {
+				last = t
+			}
+		}
+		var replies []any
+		rbytes := make([]int, n)
+		combineUS := 0.0
+		if combine != nil {
+			replies, rbytes, combineUS = combine(append([]any(nil), b.contrib...))
+		}
+		release := last + float64(n)*cfg.BarrierMgrUS + combineUS
+		b.replies = replies
+		b.release = release
+		for i := 1; i < n; i++ {
+			rb := 0
+			if rbytes != nil {
+				rb = rbytes[i]
+			}
+			p.c.Stats.Count("barrier", cfg.Frags(rb), int64(rb+cfg.MsgHeaderB))
+		}
+		b.rbytesStash = rbytes
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	release := b.release
+	var reply any
+	rb := 0
+	if b.replies != nil {
+		reply = b.replies[p.id]
+	}
+	if b.rbytesStash != nil {
+		rb = b.rbytesStash[p.id]
+	}
+	b.mu.Unlock()
+
+	depart := release
+	if p.id != 0 {
+		depart += cfg.LatencyUS + cfg.XferUS(rb)
+	}
+	p.advanceTo(depart)
+	return reply
+}
+
+// seqCounter supports unique barrier ids for callers that need private
+// episodes.
+var seqCounter int64
+
+// UniqueBarrierID returns a process-wide unique id for ad-hoc barriers.
+func UniqueBarrierID() int {
+	return int(atomic.AddInt64(&seqCounter, 1)) + 1<<20
+}

@@ -1,0 +1,237 @@
+package tmk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// gcWorld runs the same random-writer workload with and without GC and
+// returns the DSM for inspection.
+func gcWorld(t *testing.T, threshold int64, epochs int) (*DSM, []float64) {
+	t.Helper()
+	const np = 4
+	const words = 1024
+	c := sim.NewCluster(sim.DefaultConfig(np))
+	d := New(c, 1024, 1<<22)
+	d.GCThresholdBytes = threshold
+	addr := d.Alloc(8 * words)
+	d.SealInit()
+
+	ref := make([]float64, words)
+	type wr struct {
+		slot int
+		val  float64
+	}
+	plans := make([][][]wr, np)
+	rng := rand.New(rand.NewSource(33))
+	for p := 0; p < np; p++ {
+		plans[p] = make([][]wr, epochs)
+		for e := 0; e < epochs; e++ {
+			for k := 0; k < 12; k++ {
+				slot := (rng.Intn(words/np))*np + p
+				v := rng.Float64()
+				plans[p][e] = append(plans[p][e], wr{slot, v})
+			}
+		}
+	}
+	for e := 0; e < epochs; e++ {
+		for p := 0; p < np; p++ {
+			for _, w := range plans[p][e] {
+				ref[w.slot] = w.val
+			}
+		}
+	}
+
+	d.Cluster().Run(func(p *sim.Proc) {
+		n := d.Node(p.ID())
+		for e := 0; e < epochs; e++ {
+			for _, w := range plans[p.ID()][e] {
+				n.Space().WriteF64(addr+vm.Addr(8*w.slot), w.val)
+			}
+			n.Barrier(1)
+		}
+		for s := 0; s < words; s++ {
+			if got := n.Space().ReadF64(addr + vm.Addr(8*s)); got != ref[s] {
+				t.Errorf("proc %d slot %d: %v != %v", p.ID(), s, got, ref[s])
+				return
+			}
+		}
+		n.Barrier(2)
+	})
+	return d, ref
+}
+
+func TestGCPreservesCorrectness(t *testing.T) {
+	// A tiny threshold forces GC at nearly every barrier; results must
+	// still match the reference replay.
+	d, _ := gcWorld(t, 512, 12)
+	gcs := int64(0)
+	for i := 0; i < 4; i++ {
+		gcs += d.Node(i).GCs
+	}
+	if gcs == 0 {
+		t.Fatal("threshold never triggered a GC")
+	}
+}
+
+func TestGCDiscardsDiffs(t *testing.T) {
+	withGC, _ := gcWorld(t, 512, 12)
+	withoutGC, _ := gcWorld(t, 0, 12)
+	var kept, keptNoGC int64
+	for i := 0; i < 4; i++ {
+		kept += withGC.Node(i).DiffStoreBytes()
+		keptNoGC += withoutGC.Node(i).DiffStoreBytes()
+	}
+	if kept >= keptNoGC {
+		t.Fatalf("GC retained %d bytes, no-GC %d", kept, keptNoGC)
+	}
+	if withoutGC.Node(0).GCs != 0 {
+		t.Fatal("GC ran with threshold disabled")
+	}
+}
+
+func TestGCTrafficAccounted(t *testing.T) {
+	d, _ := gcWorld(t, 512, 12)
+	cats := d.Cluster().Stats.Categories()
+	if cats["tmk.gc"].Messages == 0 {
+		t.Fatal("GC flush traffic not recorded under tmk.gc")
+	}
+}
+
+func TestPruneSuperseded(t *testing.T) {
+	page := vm.PageID(3)
+	older := &Notice{Proc: 0, Interval: 1, VC: VC{1, 0}, Pages: []vm.PageID{page}}
+	full := &Notice{Proc: 1, Interval: 1, VC: VC{1, 1},
+		Pages: []vm.PageID{page}, FullPages: []vm.PageID{page}}
+	concurrent := &Notice{Proc: 0, Interval: 2, VC: VC{2, 0}, Pages: []vm.PageID{page}}
+
+	got := pruneSuperseded([]*Notice{older, full, concurrent}, page)
+	if len(got) != 2 {
+		t.Fatalf("pruned to %d notices, want 2 (full + concurrent)", len(got))
+	}
+	for _, nt := range got {
+		if nt == older {
+			t.Fatal("superseded notice not pruned")
+		}
+	}
+	// A full notice for a different page must not prune.
+	otherPage := &Notice{Proc: 1, Interval: 1, VC: VC{1, 1},
+		Pages: []vm.PageID{page, 9}, FullPages: []vm.PageID{9}}
+	got = pruneSuperseded([]*Notice{older, otherPage}, page)
+	if len(got) != 2 {
+		t.Fatalf("notice pruned by a full write of a different page")
+	}
+}
+
+func TestNoticeIsFull(t *testing.T) {
+	nt := &Notice{Pages: []vm.PageID{1, 2, 3}, FullPages: []vm.PageID{2}}
+	if nt.IsFull(1) || !nt.IsFull(2) || nt.IsFull(3) {
+		t.Fatal("IsFull wrong")
+	}
+}
+
+func TestLockFairnessAndQueueing(t *testing.T) {
+	// Many procs contend; every increment must survive and the lock must
+	// serialize (total == np*iters). Also exercises queue handoff.
+	const np = 8
+	const iters = 3
+	d, addr := harness(t, np, 2)
+	d.Cluster().Run(func(p *sim.Proc) {
+		n := d.Node(p.ID())
+		for i := 0; i < iters; i++ {
+			n.AcquireLock(0)
+			n.Space().WriteF64(addr, n.Space().ReadF64(addr)+1)
+			n.ReleaseLock(0)
+			n.AcquireLock(5) // second lock, different manager
+			n.Space().WriteF64(addr+8, n.Space().ReadF64(addr+8)+2)
+			n.ReleaseLock(5)
+		}
+		n.Barrier(1)
+		if got := n.Space().ReadF64(addr); got != np*iters {
+			t.Errorf("proc %d: lock-0 counter %v", p.ID(), got)
+		}
+		if got := n.Space().ReadF64(addr + 8); got != 2*np*iters {
+			t.Errorf("proc %d: lock-5 counter %v", p.ID(), got)
+		}
+		n.Barrier(2)
+	})
+	cats := d.Cluster().Stats.Categories()
+	if cats["tmk.lock"].Messages == 0 {
+		t.Fatal("lock traffic not recorded")
+	}
+}
+
+func TestLocksComposeWithBarriers(t *testing.T) {
+	// Alternating lock-protected updates and barrier-phase reads.
+	const np = 4
+	d, addr := harness(t, np, 8)
+	d.Cluster().Run(func(p *sim.Proc) {
+		n := d.Node(p.ID())
+		for round := 0; round < 3; round++ {
+			n.AcquireLock(1)
+			v := n.Space().ReadF64(addr)
+			n.Space().WriteF64(addr, v+1)
+			n.ReleaseLock(1)
+			n.Barrier(10)
+			want := float64((round + 1) * np)
+			if got := n.Space().ReadF64(addr); got != want {
+				t.Errorf("proc %d round %d: %v want %v", p.ID(), round, got, want)
+				return
+			}
+			n.Barrier(11)
+		}
+	})
+}
+
+func TestDiffRequestRangeSemantics(t *testing.T) {
+	// A reader that skipped several epochs must receive exactly the
+	// missing intervals in one exchange per writer.
+	d, addr := harness(t, 2, 128)
+	d.Cluster().Run(func(p *sim.Proc) {
+		n := d.Node(p.ID())
+		for e := 0; e < 4; e++ {
+			if p.ID() == 0 {
+				n.Space().WriteF64(addr+vm.Addr(8*e), float64(e+1))
+			}
+			n.Barrier(1)
+		}
+		if p.ID() == 1 {
+			before := n.DiffsApplied
+			_ = n.Space().ReadF64(addr) // one fault, all four diffs
+			if n.DiffsApplied-before != 4 {
+				t.Errorf("applied %d diffs, want 4", n.DiffsApplied-before)
+			}
+		}
+		n.Barrier(2)
+	})
+	cats := d.Cluster().Stats.Categories()
+	if cats["tmk.diff"].Messages != 2 {
+		t.Errorf("range fetch used %d messages, want 2", cats["tmk.diff"].Messages)
+	}
+}
+
+func TestWireDiffBytes(t *testing.T) {
+	wd := WireDiff{VC: NewVC(4)}
+	if wd.wireBytes() != 16+16 {
+		t.Fatalf("wireBytes = %d", wd.wireBytes())
+	}
+}
+
+func TestSortDiffsCausalOrder(t *testing.T) {
+	ds := []WireDiff{
+		{Proc: 1, Interval: 2, VC: VC{0, 2}},
+		{Proc: 0, Interval: 1, VC: VC{1, 0}},
+		{Proc: 0, Interval: 2, VC: VC{2, 2}},
+	}
+	sortDiffsCausal(ds)
+	// Sum-ordered: {1,0}=1, {0,2}=2, {2,2}=4.
+	if ds[0].Proc != 0 || ds[0].Interval != 1 {
+		t.Fatalf("order[0] = %+v", ds[0])
+	}
+	if ds[2].Interval != 2 || ds[2].Proc != 0 {
+		t.Fatalf("order[2] = %+v", ds[2])
+	}
+}

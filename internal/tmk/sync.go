@@ -1,0 +1,264 @@
+// Synchronization: the centralized write-notice board, barriers with
+// lazy-invalidate notice exchange, and locks.
+//
+// TreadMarks propagates consistency information lazily: the acquirer of
+// a synchronization object learns, at acquire time, which pages were
+// modified by intervals it has not yet seen, and invalidates them. We
+// centralize the notice store at a manager (the barrier manager of
+// TreadMarks, generalized to locks — a "manager-cached" variant noted in
+// DESIGN.md §6); each node keeps a per-writer interval watermark (seen)
+// so the manager ships only the notices the node lacks.
+package tmk
+
+import (
+	"sync"
+
+	"repro/internal/vm"
+)
+
+// noticeBoard is the manager-side store of every write notice posted so
+// far, indexed by writer.
+type noticeBoard struct {
+	mu       sync.Mutex
+	byWriter [][]*Notice // byWriter[w][i] has Interval == i+1
+}
+
+func newNoticeBoard(nprocs int) *noticeBoard {
+	return &noticeBoard{byWriter: make([][]*Notice, nprocs)}
+}
+
+// barrierContribution travels from each node to the barrier manager.
+type barrierContribution struct {
+	notices   []*Notice
+	seen      []int32
+	diffBytes int64
+}
+
+// barrierReply travels back: the notices this node lacks, and whether a
+// garbage collection round follows the barrier.
+type barrierReply struct {
+	notices []*Notice
+	gc      bool
+}
+
+// ensureSeen lazily initializes the per-writer watermark.
+func (n *Node) ensureSeen() {
+	if n.seen == nil {
+		n.seen = make([]int32, n.proc.NProcs())
+	}
+}
+
+// Barrier performs a TreadMarks barrier: the arrival message carries the
+// node's new interval notices to the manager; the release message
+// carries back every notice the node has not seen; the node then
+// invalidates the pages those notices name (§2: "the releaser notifies
+// the acquirer of which pages have been modified, causing the acquirer
+// to invalidate its local copies of these pages").
+func (n *Node) Barrier(id int) {
+	n.ensureSeen()
+	n.closeInterval()
+
+	contrib := &barrierContribution{
+		notices:   n.newNotices,
+		seen:      append([]int32(nil), n.seen...),
+		diffBytes: n.DiffStoreBytes(),
+	}
+	bytes := 4 * len(contrib.seen)
+	for _, nt := range contrib.notices {
+		bytes += nt.WireBytes()
+	}
+	board := n.d.board
+
+	reply := n.proc.BarrierExchange(id, contrib, bytes, func(contribs []any) ([]any, []int, float64) {
+		board.mu.Lock()
+		defer board.mu.Unlock()
+		posted := 0
+		for _, c := range contribs {
+			cb := c.(*barrierContribution)
+			for _, nt := range cb.notices {
+				w := nt.Proc
+				if int(nt.Interval) == len(board.byWriter[w])+1 {
+					board.byWriter[w] = append(board.byWriter[w], nt)
+					posted++
+				}
+			}
+		}
+		var retained int64
+		for _, c := range contribs {
+			retained += c.(*barrierContribution).diffBytes
+		}
+		gc := n.d.GCThresholdBytes > 0 && retained > n.d.GCThresholdBytes
+		replies := make([]any, len(contribs))
+		rbytes := make([]int, len(contribs))
+		var totalNotices int
+		for i, c := range contribs {
+			cb := c.(*barrierContribution)
+			nts, nb := board.missingForLocked(cb.seen, i)
+			replies[i] = &barrierReply{notices: nts, gc: gc}
+			rbytes[i] = nb
+			totalNotices += len(nts)
+		}
+		combineUS := float64(posted)*1.0 + float64(totalNotices)*0.3
+		return replies, rbytes, combineUS
+	})
+
+	n.newNotices = nil
+	gc := false
+	if reply != nil {
+		r := reply.(*barrierReply)
+		n.applyNotices(r.notices)
+		for _, nt := range r.notices {
+			if n.seen[nt.Proc] < nt.Interval {
+				n.seen[nt.Proc] = nt.Interval
+			}
+		}
+		gc = r.gc
+	}
+	n.seen[n.proc.ID()] = n.vc[n.proc.ID()]
+	if gc {
+		n.gcFlush(id)
+	}
+}
+
+// gcFlush performs TreadMarks' consistency-data garbage collection: the
+// node brings every invalid page current (so no one will ever need the
+// old diffs again), synchronizes with the other nodes, and discards its
+// stored diffs. Traffic is counted under "tmk.gc".
+func (n *Node) gcFlush(barrierID int) {
+	var invalid []vm.PageID
+	for pg := range n.pages {
+		if len(n.pages[pg].pending) > 0 {
+			invalid = append(invalid, vm.PageID(pg))
+		}
+	}
+	if len(invalid) > 0 {
+		n.FetchPages(invalid, msgGC)
+	}
+	// Everyone must finish fetching before anyone discards.
+	n.proc.BarrierExchange(1<<19+barrierID, nil, 0, nil)
+	n.mu.Lock()
+	n.diffStore = map[diffKey]*storedDiff{}
+	n.diffBytes = 0
+	n.mu.Unlock()
+	n.GCs++
+}
+
+// missingForLocked is missingFor with the board lock already held.
+func (b *noticeBoard) missingForLocked(seen []int32, self int) ([]*Notice, int) {
+	var out []*Notice
+	bytes := 0
+	for w, nts := range b.byWriter {
+		if w == self {
+			continue
+		}
+		for i := int(seen[w]); i < len(nts); i++ {
+			out = append(out, nts[i])
+			bytes += nts[i].WireBytes()
+		}
+	}
+	return out, bytes
+}
+
+// lockServer is the manager state for one lock.
+type lockServer struct {
+	mu          sync.Mutex
+	held        bool
+	lastRelease float64 // simulated time the lock last became free
+	queue       []chan float64
+}
+
+func (d *DSM) lockServer(id int) *lockServer {
+	// Lazily grown; callers use small dense lock ids.
+	for len(d.locks) <= id {
+		d.locks = append(d.locks, &lockServer{})
+	}
+	return d.locks[id]
+}
+
+// AcquireLock acquires lock id: a request message to the manager
+// (statically id mod nprocs) and a grant message back, the grant
+// carrying the write notices the acquirer lacks. Blocks while another
+// processor holds the lock.
+func (n *Node) AcquireLock(id int) {
+	n.ensureSeen()
+	cfg := n.proc.Config()
+	d := n.d
+	ls := d.lockServer(id)
+
+	reqArrive := n.proc.Clock() + cfg.LatencyUS
+	var grantFree float64
+	ls.mu.Lock()
+	if !ls.held {
+		ls.held = true
+		grantFree = ls.lastRelease
+		ls.mu.Unlock()
+	} else {
+		ch := make(chan float64, 1)
+		ls.queue = append(ls.queue, ch)
+		ls.mu.Unlock()
+		grantFree = <-ch
+	}
+	grantAt := reqArrive
+	if grantFree > grantAt {
+		grantAt = grantFree
+	}
+	grantAt += cfg.InterruptUS // manager handling
+
+	// The grant carries the missing notices.
+	board := d.board
+	board.mu.Lock()
+	nts, bytes := board.missingForLocked(n.seen, n.proc.ID())
+	board.mu.Unlock()
+
+	d.cluster.Stats.Count("tmk.lock", 2, int64(bytes+4*len(n.seen)+2*cfg.MsgHeaderB))
+	n.proc.AdvanceTo(grantAt + cfg.LatencyUS + cfg.XferUS(bytes))
+
+	n.applyNotices(nts)
+	for _, nt := range nts {
+		if n.seen[nt.Proc] < nt.Interval {
+			n.seen[nt.Proc] = nt.Interval
+		}
+	}
+}
+
+// ReleaseLock releases lock id: the current interval closes (creating
+// diffs and a write notice), the notice is posted to the manager, and a
+// queued waiter (if any) is granted.
+func (n *Node) ReleaseLock(id int) {
+	n.ensureSeen()
+	cfg := n.proc.Config()
+	d := n.d
+	n.closeInterval()
+
+	bytes := 0
+	for _, nt := range n.newNotices {
+		bytes += nt.WireBytes()
+	}
+	board := d.board
+	board.mu.Lock()
+	for _, nt := range n.newNotices {
+		w := nt.Proc
+		if int(nt.Interval) == len(board.byWriter[w])+1 {
+			board.byWriter[w] = append(board.byWriter[w], nt)
+		}
+	}
+	board.mu.Unlock()
+	n.seen[n.proc.ID()] = n.vc[n.proc.ID()]
+	n.newNotices = nil
+
+	d.cluster.Stats.Count("tmk.lock", 1, int64(bytes+cfg.MsgHeaderB))
+	freeAt := n.proc.Clock() + cfg.LatencyUS
+
+	ls := d.lockServer(id)
+	ls.mu.Lock()
+	ls.lastRelease = freeAt
+	if len(ls.queue) > 0 {
+		ch := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		ls.mu.Unlock()
+		ch <- freeAt
+	} else {
+		ls.held = false
+		ls.mu.Unlock()
+	}
+}

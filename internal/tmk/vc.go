@@ -1,0 +1,135 @@
+// Vector timestamps and write notices for lazy release consistency.
+package tmk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/diff"
+	"repro/internal/vm"
+)
+
+// VC is a vector timestamp: VC[p] is the most recent interval of
+// processor p whose effects are (transitively) visible.
+type VC []int32
+
+// NewVC returns a zero vector clock for n processors.
+func NewVC(n int) VC { return make(VC, n) }
+
+// Clone returns a copy.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Join merges o into v componentwise (v = v ⊔ o).
+func (v VC) Join(o VC) {
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// LEq reports whether v ≤ o in the componentwise partial order.
+func (v VC) LEq(o VC) bool {
+	for i, x := range v {
+		if x > o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither v ≤ o nor o ≤ v.
+func (v VC) Concurrent(o VC) bool {
+	return !v.LEq(o) && !o.LEq(v)
+}
+
+// Sum returns the sum of components. For any two ordered clocks
+// a < b (a ≤ b, a ≠ b), Sum(a) < Sum(b), so sorting by Sum yields a
+// valid linear extension of the happens-before partial order.
+func (v VC) Sum() int64 {
+	var s int64
+	for _, x := range v {
+		s += int64(x)
+	}
+	return s
+}
+
+func (v VC) String() string { return fmt.Sprint([]int32(v)) }
+
+// Notice is a write notice: processor Proc modified Pages during its
+// interval Interval, which closed at vector time VC. Write notices are
+// what the lazy-invalidate protocol propagates at synchronization.
+// FullPages lists the subset of Pages that were written in their
+// entirety (WRITE_ALL): a full write supersedes every earlier write the
+// writer had seen, so the fetcher can skip all notices with VC ≤ this
+// notice's VC — the mechanism behind the paper's "the entire page, and
+// not the diff, must be sent on a diff request".
+type Notice struct {
+	Proc      int
+	Interval  int32
+	VC        VC
+	Pages     []vm.PageID
+	FullPages []vm.PageID
+}
+
+// IsFull reports whether the notice records a whole-page write of page.
+func (nt *Notice) IsFull(page vm.PageID) bool {
+	for _, p := range nt.FullPages {
+		if p == page {
+			return true
+		}
+	}
+	return false
+}
+
+// WireBytes is the encoded size of the notice on the wire.
+func (nt *Notice) WireBytes() int {
+	return 8 + 4*len(nt.VC) + 4*len(nt.Pages) + 4*len(nt.FullPages)
+}
+
+// storedDiff is a diff retained by its writer, keyed by (page,
+// interval), served on request.
+type storedDiff struct {
+	page     vm.PageID
+	proc     int
+	interval int32
+	vc       VC
+	full     bool // whole-page snapshot (WRITE_ALL reduction shipping)
+	d        diff.Diff
+}
+
+// WireDiff is a diff as shipped in a response message.
+type WireDiff struct {
+	Page     vm.PageID
+	Proc     int
+	Interval int32
+	VC       VC
+	Full     bool
+	D        diff.Diff
+}
+
+// wireBytes of one shipped diff: metadata plus encoded runs.
+func (w *WireDiff) wireBytes() int {
+	return 16 + 4*len(w.VC) + w.D.WireBytes()
+}
+
+// sortDiffsCausal orders diffs by a linear extension of happens-before
+// (Sum of the vector clock, ties by writer id, then interval).
+// Concurrent diffs only arise from false sharing and touch disjoint
+// bytes, so any linear extension applies them correctly.
+func sortDiffsCausal(ds []WireDiff) {
+	sort.Slice(ds, func(i, j int) bool {
+		si, sj := ds[i].VC.Sum(), ds[j].VC.Sum()
+		if si != sj {
+			return si < sj
+		}
+		if ds[i].Proc != ds[j].Proc {
+			return ds[i].Proc < ds[j].Proc
+		}
+		return ds[i].Interval < ds[j].Interval
+	})
+}

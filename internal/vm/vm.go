@@ -1,0 +1,309 @@
+// Package vm implements a software MMU: a paged shared address space in
+// which every access to shared data goes through typed accessors that
+// check per-page protection bits and deliver faults to a registered
+// handler.
+//
+// The paper relies on the hardware MMU — TreadMarks mprotect()s pages
+// and catches SIGSEGV to detect accesses, and write-protects the pages
+// holding the indirection array to detect changes to it. Go's runtime
+// and garbage collector make SIGSEGV-based user-level page protection
+// impractical (see DESIGN.md §2), so this package reproduces the same
+// mechanism in software: the protection transitions, fault upcalls, and
+// page-granularity behaviour are identical; only the detection mechanism
+// (an explicit check in the accessor instead of a hardware trap) differs.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Prot is a page protection level, mirroring mprotect's PROT_* modes.
+type Prot uint8
+
+const (
+	// NoAccess: any access faults (the page is invalid).
+	NoAccess Prot = iota
+	// ReadOnly: reads succeed, writes fault (used both for clean pages
+	// under the multiple-writer protocol and for write-protected
+	// indirection-array pages).
+	ReadOnly
+	// ReadWrite: all accesses succeed.
+	ReadWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case NoAccess:
+		return "none"
+	case ReadOnly:
+		return "ro"
+	case ReadWrite:
+		return "rw"
+	}
+	return fmt.Sprintf("Prot(%d)", uint8(p))
+}
+
+// Addr is a byte offset into the shared arena. The arena is a single
+// global address space identical on every processor, like the shared
+// heap TreadMarks lays out at the same virtual address on every node.
+type Addr int
+
+// PageID identifies one page of the arena.
+type PageID int
+
+// FaultHandler receives protection-violation upcalls. It must resolve
+// the fault (upgrade the page's protection) before returning; the
+// faulting access then retries. write reports whether the faulting
+// access was a store.
+type FaultHandler interface {
+	HandleFault(page PageID, write bool)
+}
+
+// Arena describes the shared address space: its page geometry and the
+// allocation cursor. One Arena is shared by all processors' Spaces.
+type Arena struct {
+	pageSize int
+	shift    uint
+	mask     int
+	next     Addr
+	limit    Addr
+}
+
+// NewArena creates an address space of totalBytes capacity with the
+// given page size (which must be a power of two).
+func NewArena(pageSize int, totalBytes int) *Arena {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic("vm: page size must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift != pageSize {
+		shift++
+	}
+	return &Arena{
+		pageSize: pageSize,
+		shift:    shift,
+		mask:     pageSize - 1,
+		limit:    Addr(totalBytes),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (a *Arena) PageSize() int { return a.pageSize }
+
+// NumPages returns the number of pages spanned by the allocations so far.
+func (a *Arena) NumPages() int {
+	return int((a.next + Addr(a.pageSize) - 1) >> a.shift)
+}
+
+// Capacity returns the arena's total capacity in pages.
+func (a *Arena) Capacity() int { return int(a.limit >> a.shift) }
+
+// PageOf returns the page containing addr.
+func (a *Arena) PageOf(addr Addr) PageID { return PageID(addr >> a.shift) }
+
+// PageRange returns the inclusive page range covering [addr, addr+size).
+func (a *Arena) PageRange(addr Addr, size int) (first, last PageID) {
+	if size <= 0 {
+		panic("vm: PageRange with non-positive size")
+	}
+	return a.PageOf(addr), a.PageOf(addr + Addr(size) - 1)
+}
+
+// Alloc reserves size bytes aligned to the page boundary, the way
+// TreadMarks' shared malloc places distinct arrays on distinct pages.
+func (a *Arena) Alloc(size int) Addr {
+	// Round the cursor up to a page boundary.
+	a.next = Addr((int(a.next) + a.mask) &^ a.mask)
+	return a.allocAt(size)
+}
+
+// AllocUnaligned reserves size bytes at the current cursor with no
+// alignment, packing arrays together so that page boundaries fall inside
+// arrays — the false-sharing-prone layout the paper's 64x1000 nbf
+// configuration exercises.
+func (a *Arena) AllocUnaligned(size int) Addr {
+	return a.allocAt(size)
+}
+
+func (a *Arena) allocAt(size int) Addr {
+	if size <= 0 {
+		panic("vm: allocation of non-positive size")
+	}
+	addr := a.next
+	a.next += Addr(size)
+	if a.next > a.limit {
+		panic(fmt.Sprintf("vm: arena exhausted: want %d bytes at %d, limit %d", size, addr, a.limit))
+	}
+	return addr
+}
+
+// Page is one processor's copy of a page: its bytes and protection.
+type Page struct {
+	id   PageID
+	prot Prot
+	data []byte
+}
+
+// ID returns the page id.
+func (pg *Page) ID() PageID { return pg.id }
+
+// Prot returns the current protection.
+func (pg *Page) Prot() Prot { return pg.prot }
+
+// Data exposes the raw page bytes for protocol use (twinning, diffing,
+// full-page transfer). Protocol code bypasses protection, exactly as the
+// DSM library does via its own mappings in TreadMarks.
+func (pg *Page) Data() []byte { return pg.data }
+
+// Space is one processor's view of the arena: its page table. Accesses
+// through a Space check protection and deliver faults to the handler.
+type Space struct {
+	arena   *Arena
+	pages   []*Page
+	handler FaultHandler
+
+	// Counters for the fault-driven behaviour under test.
+	ReadFaults  int64
+	WriteFaults int64
+}
+
+// NewSpace creates a processor-local view with all pages present and
+// protection prot. (Initialization is untimed and replicated; see
+// DESIGN.md §6.)
+func NewSpace(a *Arena, prot Prot) *Space {
+	s := &Space{arena: a, pages: make([]*Page, a.Capacity())}
+	for i := range s.pages {
+		s.pages[i] = &Page{id: PageID(i), prot: prot, data: make([]byte, a.pageSize)}
+	}
+	return s
+}
+
+// SetHandler installs the fault handler (the DSM protocol layer).
+func (s *Space) SetHandler(h FaultHandler) { s.handler = h }
+
+// Arena returns the shared arena geometry.
+func (s *Space) Arena() *Arena { return s.arena }
+
+// Page returns the processor's copy of page id.
+func (s *Space) Page(id PageID) *Page { return s.pages[id] }
+
+// Protect sets the protection of page id, like mprotect on one page.
+func (s *Space) Protect(id PageID, p Prot) { s.pages[id].prot = p }
+
+// ProtectRange sets the protection of every page covering
+// [addr, addr+size).
+func (s *Space) ProtectRange(addr Addr, size int, p Prot) {
+	first, last := s.arena.PageRange(addr, size)
+	for id := first; id <= last; id++ {
+		s.pages[id].prot = p
+	}
+}
+
+// CopyPageFrom copies the page contents (not protection) from another
+// Space, used for untimed initialization broadcast.
+func (s *Space) CopyPageFrom(o *Space, id PageID) {
+	copy(s.pages[id].data, o.pages[id].data)
+}
+
+func (s *Space) faultRead(pg *Page) {
+	s.ReadFaults++
+	if s.handler == nil {
+		panic(fmt.Sprintf("vm: read fault on page %d with no handler", pg.id))
+	}
+	s.handler.HandleFault(pg.id, false)
+	if pg.prot == NoAccess {
+		panic(fmt.Sprintf("vm: handler left page %d inaccessible after read fault", pg.id))
+	}
+}
+
+func (s *Space) faultWrite(pg *Page) {
+	s.WriteFaults++
+	if s.handler == nil {
+		panic(fmt.Sprintf("vm: write fault on page %d with no handler", pg.id))
+	}
+	s.handler.HandleFault(pg.id, true)
+	if pg.prot != ReadWrite {
+		panic(fmt.Sprintf("vm: handler left page %d non-writable after write fault", pg.id))
+	}
+}
+
+// ReadF64 loads the float64 at addr, faulting if the page is invalid.
+// The value must not straddle a page boundary (allocation code keeps
+// elements aligned).
+func (s *Space) ReadF64(addr Addr) float64 {
+	pg := s.pages[addr>>s.arena.shift]
+	if pg.prot == NoAccess {
+		s.faultRead(pg)
+	}
+	off := int(addr) & s.arena.mask
+	return math.Float64frombits(binary.LittleEndian.Uint64(pg.data[off:]))
+}
+
+// WriteF64 stores v at addr, faulting if the page is not writable.
+func (s *Space) WriteF64(addr Addr, v float64) {
+	pg := s.pages[addr>>s.arena.shift]
+	if pg.prot != ReadWrite {
+		s.faultWrite(pg)
+	}
+	off := int(addr) & s.arena.mask
+	binary.LittleEndian.PutUint64(pg.data[off:], math.Float64bits(v))
+}
+
+// ReadI32 loads the int32 at addr.
+func (s *Space) ReadI32(addr Addr) int32 {
+	pg := s.pages[addr>>s.arena.shift]
+	if pg.prot == NoAccess {
+		s.faultRead(pg)
+	}
+	off := int(addr) & s.arena.mask
+	return int32(binary.LittleEndian.Uint32(pg.data[off:]))
+}
+
+// WriteI32 stores v at addr.
+func (s *Space) WriteI32(addr Addr, v int32) {
+	pg := s.pages[addr>>s.arena.shift]
+	if pg.prot != ReadWrite {
+		s.faultWrite(pg)
+	}
+	off := int(addr) & s.arena.mask
+	binary.LittleEndian.PutUint32(pg.data[off:], uint32(v))
+}
+
+// ReadI64 loads the int64 at addr.
+func (s *Space) ReadI64(addr Addr) int64 {
+	pg := s.pages[addr>>s.arena.shift]
+	if pg.prot == NoAccess {
+		s.faultRead(pg)
+	}
+	off := int(addr) & s.arena.mask
+	return int64(binary.LittleEndian.Uint64(pg.data[off:]))
+}
+
+// WriteI64 stores v at addr.
+func (s *Space) WriteI64(addr Addr, v int64) {
+	pg := s.pages[addr>>s.arena.shift]
+	if pg.prot != ReadWrite {
+		s.faultWrite(pg)
+	}
+	off := int(addr) & s.arena.mask
+	binary.LittleEndian.PutUint64(pg.data[off:], uint64(v))
+}
+
+// TouchRead forces the page containing addr valid (a prefetch-style
+// access with no data movement at the caller).
+func (s *Space) TouchRead(addr Addr) {
+	pg := s.pages[addr>>s.arena.shift]
+	if pg.prot == NoAccess {
+		s.faultRead(pg)
+	}
+}
+
+// TouchWrite forces the page containing addr writable.
+func (s *Space) TouchWrite(addr Addr) {
+	pg := s.pages[addr>>s.arena.shift]
+	if pg.prot != ReadWrite {
+		s.faultWrite(pg)
+	}
+}

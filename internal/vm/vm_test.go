@@ -1,0 +1,264 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type recordingHandler struct {
+	s      *Space
+	faults []struct {
+		page  PageID
+		write bool
+	}
+	upgradeTo Prot
+}
+
+func (h *recordingHandler) HandleFault(page PageID, write bool) {
+	h.faults = append(h.faults, struct {
+		page  PageID
+		write bool
+	}{page, write})
+	h.s.Protect(page, h.upgradeTo)
+}
+
+func TestArenaGeometry(t *testing.T) {
+	a := NewArena(1024, 1<<20)
+	if a.PageSize() != 1024 {
+		t.Fatal("page size")
+	}
+	if a.PageOf(0) != 0 || a.PageOf(1023) != 0 || a.PageOf(1024) != 1 {
+		t.Fatal("PageOf wrong")
+	}
+	f, l := a.PageRange(1000, 100)
+	if f != 0 || l != 1 {
+		t.Fatalf("PageRange = %d..%d", f, l)
+	}
+}
+
+func TestArenaBadPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two page size")
+		}
+	}()
+	NewArena(1000, 1<<20)
+}
+
+func TestAllocPageAligned(t *testing.T) {
+	a := NewArena(4096, 1<<20)
+	a1 := a.Alloc(100)
+	a2 := a.Alloc(100)
+	if a1%4096 != 0 || a2%4096 != 0 {
+		t.Fatalf("allocations not page aligned: %d %d", a1, a2)
+	}
+	if a.PageOf(a1) == a.PageOf(a2) {
+		t.Fatal("aligned allocations share a page")
+	}
+}
+
+func TestAllocUnalignedPacks(t *testing.T) {
+	a := NewArena(4096, 1<<20)
+	a1 := a.AllocUnaligned(100)
+	a2 := a.AllocUnaligned(100)
+	if a2 != a1+100 {
+		t.Fatalf("unaligned allocations not packed: %d then %d", a1, a2)
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	a := NewArena(256, 512)
+	a.Alloc(256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on exhaustion")
+		}
+	}()
+	a.Alloc(512)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	a := NewArena(512, 1<<16)
+	s := NewSpace(a, ReadWrite)
+	addr := a.Alloc(64)
+	s.WriteF64(addr, 3.14159)
+	if got := s.ReadF64(addr); got != 3.14159 {
+		t.Fatalf("f64 round trip: %v", got)
+	}
+	s.WriteI32(addr+8, -42)
+	if got := s.ReadI32(addr + 8); got != -42 {
+		t.Fatalf("i32 round trip: %v", got)
+	}
+	s.WriteI64(addr+16, 1<<40)
+	if got := s.ReadI64(addr + 16); got != 1<<40 {
+		t.Fatalf("i64 round trip: %v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	a := NewArena(256, 1<<16)
+	s := NewSpace(a, ReadWrite)
+	base := a.Alloc(8 * 256)
+	f := func(slot uint8, v float64) bool {
+		addr := base + Addr(int(slot)*8)
+		s.WriteF64(addr, v)
+		return s.ReadF64(addr) == v || (v != v && s.ReadF64(addr) != s.ReadF64(addr)) // NaN
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFaultDelivered(t *testing.T) {
+	a := NewArena(512, 1<<16)
+	s := NewSpace(a, NoAccess)
+	h := &recordingHandler{s: s, upgradeTo: ReadOnly}
+	s.SetHandler(h)
+	addr := a.Alloc(8)
+	_ = s.ReadF64(addr)
+	if len(h.faults) != 1 || h.faults[0].write {
+		t.Fatalf("faults = %+v", h.faults)
+	}
+	if s.ReadFaults != 1 {
+		t.Fatalf("ReadFaults = %d", s.ReadFaults)
+	}
+	// Second read must not fault again.
+	_ = s.ReadF64(addr)
+	if len(h.faults) != 1 {
+		t.Fatal("read faulted twice")
+	}
+}
+
+func TestWriteFaultOnReadOnly(t *testing.T) {
+	a := NewArena(512, 1<<16)
+	s := NewSpace(a, ReadOnly)
+	h := &recordingHandler{s: s, upgradeTo: ReadWrite}
+	s.SetHandler(h)
+	addr := a.Alloc(8)
+	s.WriteF64(addr, 1)
+	if len(h.faults) != 1 || !h.faults[0].write {
+		t.Fatalf("faults = %+v", h.faults)
+	}
+	if s.WriteFaults != 1 {
+		t.Fatalf("WriteFaults = %d", s.WriteFaults)
+	}
+	s.WriteF64(addr, 2)
+	if len(h.faults) != 1 {
+		t.Fatal("write faulted twice after upgrade")
+	}
+}
+
+func TestTouchReadAndWrite(t *testing.T) {
+	a := NewArena(512, 1<<16)
+	s := NewSpace(a, NoAccess)
+	h := &recordingHandler{s: s, upgradeTo: ReadWrite}
+	s.SetHandler(h)
+	addr := a.Alloc(8)
+	s.TouchRead(addr)
+	if len(h.faults) != 1 {
+		t.Fatal("TouchRead did not fault")
+	}
+	s.TouchWrite(addr)
+	if len(h.faults) != 1 {
+		t.Fatal("TouchWrite faulted on a ReadWrite page")
+	}
+}
+
+func TestProtectRange(t *testing.T) {
+	a := NewArena(256, 1<<16)
+	s := NewSpace(a, ReadWrite)
+	addr := a.Alloc(1000) // spans 4 pages
+	s.ProtectRange(addr, 1000, ReadOnly)
+	first, last := a.PageRange(addr, 1000)
+	if last-first+1 != 4 {
+		t.Fatalf("expected 4 pages, got %d", last-first+1)
+	}
+	for id := first; id <= last; id++ {
+		if s.Page(id).Prot() != ReadOnly {
+			t.Fatalf("page %d prot = %v", id, s.Page(id).Prot())
+		}
+	}
+}
+
+func TestCopyPageFrom(t *testing.T) {
+	a := NewArena(512, 1<<16)
+	s1 := NewSpace(a, ReadWrite)
+	s2 := NewSpace(a, ReadWrite)
+	addr := a.Alloc(8)
+	s1.WriteF64(addr, 7.5)
+	s2.CopyPageFrom(s1, a.PageOf(addr))
+	if got := s2.ReadF64(addr); got != 7.5 {
+		t.Fatalf("copied page read %v", got)
+	}
+}
+
+func TestFaultWithoutHandlerPanics(t *testing.T) {
+	a := NewArena(512, 1<<16)
+	s := NewSpace(a, NoAccess)
+	addr := a.Alloc(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic without handler")
+		}
+	}()
+	_ = s.ReadF64(addr)
+}
+
+type badHandler struct{}
+
+func (badHandler) HandleFault(PageID, bool) {} // never upgrades
+
+func TestHandlerMustResolveFault(t *testing.T) {
+	a := NewArena(512, 1<<16)
+	s := NewSpace(a, NoAccess)
+	s.SetHandler(badHandler{})
+	addr := a.Alloc(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when handler fails to resolve")
+		}
+	}()
+	_ = s.ReadF64(addr)
+}
+
+func TestManyRandomAccessesAcrossPages(t *testing.T) {
+	a := NewArena(1024, 1<<20)
+	s := NewSpace(a, ReadWrite)
+	base := a.Alloc(8 * 10000)
+	rng := rand.New(rand.NewSource(1))
+	ref := make(map[int]float64)
+	for i := 0; i < 5000; i++ {
+		slot := rng.Intn(10000)
+		v := rng.Float64()
+		s.WriteF64(base+Addr(slot*8), v)
+		ref[slot] = v
+	}
+	for slot, v := range ref {
+		if got := s.ReadF64(base + Addr(slot*8)); got != v {
+			t.Fatalf("slot %d: %v != %v", slot, got, v)
+		}
+	}
+}
+
+func BenchmarkReadF64(b *testing.B) {
+	a := NewArena(4096, 1<<20)
+	s := NewSpace(a, ReadWrite)
+	addr := a.Alloc(8 * 1024)
+	var sum float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum += s.ReadF64(addr + Addr((i%1024)*8))
+	}
+	_ = sum
+}
+
+func BenchmarkWriteF64(b *testing.B) {
+	a := NewArena(4096, 1<<20)
+	s := NewSpace(a, ReadWrite)
+	addr := a.Alloc(8 * 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.WriteF64(addr+Addr((i%1024)*8), 1.0)
+	}
+}
