@@ -12,6 +12,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/apps/moldyn"
 	"repro/internal/apps/nbf"
+	"repro/internal/apps/spmv"
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/rsd"
@@ -132,6 +133,51 @@ func BenchmarkTable2NBFTmkOptFalseSharing(b *testing.B) {
 	var r *apps.Result
 	for i := 0; i < b.N; i++ {
 		r = nbf.RunTmk(w, nbf.TmkOptions{Optimized: true})
+	}
+	report(b, r)
+}
+
+// --- Table 3: spmv ---
+
+func spmvParams(n int) spmv.Params {
+	p := spmv.DefaultParams(n, 8)
+	p.Steps = 8
+	p.NNZRow = 16
+	return p
+}
+
+func BenchmarkTable3SpmvSequential(b *testing.B) {
+	w := spmv.Generate(spmvParams(8 * 1024))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = spmv.RunSequential(w)
+	}
+	report(b, r)
+}
+
+func BenchmarkTable3SpmvChaos(b *testing.B) {
+	w := spmv.Generate(spmvParams(8 * 1024))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = spmv.RunChaos(w)
+	}
+	report(b, r)
+}
+
+func BenchmarkTable3SpmvTmkBase(b *testing.B) {
+	w := spmv.Generate(spmvParams(8 * 1024))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = spmv.RunTmk(w, spmv.TmkOptions{})
+	}
+	report(b, r)
+}
+
+func BenchmarkTable3SpmvTmkOpt(b *testing.B) {
+	w := spmv.Generate(spmvParams(8 * 1024))
+	var r *apps.Result
+	for i := 0; i < b.N; i++ {
+		r = spmv.RunTmk(w, spmv.TmkOptions{Optimized: true})
 	}
 	report(b, r)
 }

@@ -2,9 +2,9 @@
 // event anatomy: per-category message/byte breakdowns and the protocol
 // counters (faults, twins, diffs created/applied) for each backend — the
 // observability tool for understanding where a configuration's time and
-// traffic go.
+// traffic go. Any application registered in internal/apps works.
 //
-//	go run ./cmd/dsmviz [-app moldyn|nbf] [-n 1024] [-procs 8]
+//	go run ./cmd/dsmviz [-app moldyn|nbf|unstruct|spmv] [-n 1024] [-procs 8]
 package main
 
 import (
@@ -12,64 +12,38 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/apps/moldyn"
-	"repro/internal/apps/nbf"
-	"repro/internal/apps/unstruct"
+
+	// Register the first-class applications.
+	_ "repro/internal/apps/moldyn"
+	_ "repro/internal/apps/nbf"
+	_ "repro/internal/apps/spmv"
+	_ "repro/internal/apps/unstruct"
 )
 
 func main() {
-	app := flag.String("app", "moldyn", "application: moldyn, nbf, or unstruct")
+	app := flag.String("app", "moldyn",
+		"application: "+strings.Join(apps.Names(), ", "))
 	n := flag.Int("n", 1024, "problem size")
 	procs := flag.Int("procs", 8, "processors")
 	flag.Parse()
 
-	var results []*apps.Result
-	switch *app {
-	case "moldyn":
-		p := moldyn.DefaultParams(*n, *procs)
-		w := moldyn.Generate(p)
-		results = []*apps.Result{
-			moldyn.RunSequential(w),
-			moldyn.RunChaos(w),
-			moldyn.RunTmk(w, moldyn.TmkOptions{}),
-			moldyn.RunTmk(w, moldyn.TmkOptions{Optimized: true}),
-		}
-	case "nbf":
-		p := nbf.DefaultParams(*n, *procs)
-		w := nbf.Generate(p)
-		results = []*apps.Result{
-			nbf.RunSequential(w),
-			nbf.RunChaos(w),
-			nbf.RunTmk(w, nbf.TmkOptions{}),
-			nbf.RunTmk(w, nbf.TmkOptions{Optimized: true}),
-		}
-	case "unstruct":
-		p := unstruct.DefaultParams(*n, *procs)
-		w := unstruct.Generate(p)
-		results = []*apps.Result{
-			unstruct.RunSequential(w),
-			unstruct.RunChaos(w),
-			unstruct.RunTmk(w, unstruct.TmkOptions{}),
-			unstruct.RunTmk(w, unstruct.TmkOptions{Optimized: true}),
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "unknown app:", *app)
+	w, err := apps.New(*app, apps.Config{N: *n, Procs: *procs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	vs, err := apps.RunAll(w) // verifies all backends bit-identical
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "VERIFICATION FAILED:", err)
 		os.Exit(1)
 	}
 
-	seq := results[0]
-	for _, r := range results[1:] {
-		if err := apps.VerifyEqual(seq, r); err != nil {
-			fmt.Fprintln(os.Stderr, "VERIFICATION FAILED:", err)
-			os.Exit(1)
-		}
-	}
-
-	for _, r := range results {
+	for _, r := range vs.All() {
 		fmt.Printf("=== %-10s time %8.3f s   speedup %5.2f   msgs %8d   data %8.2f MB\n",
-			r.System, r.TimeSec, seq.TimeSec/r.TimeSec, r.Messages, r.DataMB)
+			r.System, r.TimeSec, r.Speedup, r.Messages, r.DataMB)
 		if len(r.Detail) == 0 {
 			fmt.Println()
 			continue

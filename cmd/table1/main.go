@@ -1,7 +1,9 @@
 // Command table1 regenerates Table 1 of the paper: moldyn on 8 simulated
 // processors with the interaction list updated every 20, 15, and 11
 // steps, comparing CHAOS, base TreadMarks, and compiler-optimized
-// TreadMarks on execution time, speedup, messages, and data volume.
+// TreadMarks on execution time, speedup, messages, and data volume. The
+// rows are produced by the application registry (internal/apps) through
+// the shared bench harness.
 //
 // The default molecule count is scaled down from the paper's 16384 to
 // keep the run short; pass -n 16384 -full for the paper-scale sweep. The
@@ -14,7 +16,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/apps/moldyn"
+	"repro/internal/apps"
 	"repro/internal/bench"
 )
 
@@ -25,10 +27,8 @@ func main() {
 	detail := flag.Bool("detail", false, "print per-row details (inspector/scan seconds, per-category traffic)")
 	flag.Parse()
 
-	p := moldyn.DefaultParams(*n, *procs)
-	p.Steps = *steps
-
-	tbl, all, err := bench.Table1(p, []int{20, 15, 11})
+	cfg := apps.Config{N: *n, Procs: *procs, Steps: *steps}
+	tbl, all, err := bench.Table1(cfg, []int{20, 15, 11})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)

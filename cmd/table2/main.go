@@ -2,6 +2,8 @@
 // simulated processors at three problem sizes — 64x1024, 64x1000 (whose
 // misaligned per-processor blocks induce false sharing), and 32x1024 —
 // comparing CHAOS, base TreadMarks, and compiler-optimized TreadMarks.
+// The rows are produced by the application registry (internal/apps)
+// through the shared bench harness.
 //
 // The default sizes are scaled down 4x from the paper (16x1024 etc.);
 // pass -scale 64 for paper scale. The alignment effect is preserved at
@@ -14,7 +16,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/apps/nbf"
+	"repro/internal/apps"
 	"repro/internal/bench"
 )
 
@@ -26,16 +28,13 @@ func main() {
 	detail := flag.Bool("detail", false, "print per-row details")
 	flag.Parse()
 
-	p := nbf.DefaultParams(0, *procs)
-	p.Steps = *steps
-	p.Partners = *partners
-
-	sizes := []bench.NBFSize{
+	cfg := apps.Config{Procs: *procs, Steps: *steps}.WithKnob("partners", *partners)
+	sizes := []bench.Size{
 		{Label: fmt.Sprintf("%d x 1024", *scale), N: *scale * 1024},
 		{Label: fmt.Sprintf("%d x 1000", *scale), N: *scale * 1000},
 		{Label: fmt.Sprintf("%d x 1024", *scale/2), N: *scale / 2 * 1024},
 	}
-	tbl, all, err := bench.Table2(p, sizes)
+	tbl, all, err := bench.Table2(cfg, sizes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table2:", err)
 		os.Exit(1)

@@ -1,9 +1,10 @@
-// Package apps holds shared infrastructure for the paper's two
-// applications (moldyn and nbf): the result record every backend
-// produces, the measurement window helper, and the quantized arithmetic
-// that makes all four backends (sequential, base TreadMarks, optimized
-// TreadMarks, CHAOS) produce bit-identical trajectories so correctness
-// can be asserted exactly.
+// Package apps holds shared infrastructure for the irregular
+// applications (moldyn, nbf, unstruct, spmv — see registry.go for the
+// registry they plug into): the result record every backend produces,
+// the measurement window helper, and the quantized arithmetic that makes
+// all four backends (sequential, base TreadMarks, optimized TreadMarks,
+// CHAOS) produce bit-identical trajectories so correctness can be
+// asserted exactly.
 package apps
 
 import (
@@ -24,6 +25,12 @@ const Grid = 1 << 16
 // Dt is the integration step scale, a power of two so multiplication is
 // exact.
 const Dt = 1.0 / (1 << 12)
+
+// PageRound rounds b up to a multiple of the page size ps — the arena
+// sizing helper every DSM backend uses.
+func PageRound(b, ps int) int {
+	return (b + ps - 1) / ps * ps
+}
 
 // Q quantizes v onto the position lattice.
 func Q(v float64) float64 {

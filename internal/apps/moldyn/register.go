@@ -1,0 +1,33 @@
+// Registry adapter: moldyn as an apps.Workload. The factory maps the
+// harness Config onto Params (knob "update_every" selects the
+// interaction-list rebuild interval Table 1 sweeps).
+package moldyn
+
+import "repro/internal/apps"
+
+// App adapts a generated moldyn workload to the registry interface.
+type App struct{ W *Workload }
+
+// Name implements apps.Workload.
+func (a App) Name() string { return "moldyn" }
+
+// Sequential implements apps.Workload.
+func (a App) Sequential() *apps.Result { return RunSequential(a.W) }
+
+// Chaos implements apps.Workload.
+func (a App) Chaos() *apps.Result { return RunChaos(a.W) }
+
+// TmkBase implements apps.Workload.
+func (a App) TmkBase() *apps.Result { return RunTmk(a.W, TmkOptions{}) }
+
+// TmkOpt implements apps.Workload.
+func (a App) TmkOpt() *apps.Result { return RunTmk(a.W, TmkOptions{Optimized: true}) }
+
+func init() {
+	apps.Register("moldyn", func(cfg apps.Config) apps.Workload {
+		p := DefaultParams(cfg.N, cfg.Procs)
+		cfg.ApplyCommon(&p.Steps, &p.Seed)
+		p.UpdateEvery = cfg.Knob("update_every", p.UpdateEvery)
+		return App{W: Generate(p)}
+	}, "update_every")
+}

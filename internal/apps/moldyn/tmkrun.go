@@ -50,8 +50,8 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 	initPairs, _ := BuildPairs(&p, w.L, w.X0)
 	capPairs := len(initPairs)*3/2 + 4096
 
-	arenaBytes := pageRound(24*n, p.PageSize) + pageRound(8*3*n, p.PageSize) +
-		pageRound(8*capPairs, p.PageSize) + pageRound(8*(nprocs+2), p.PageSize) +
+	arenaBytes := apps.PageRound(24*n, p.PageSize) + apps.PageRound(8*3*n, p.PageSize) +
+		apps.PageRound(8*capPairs, p.PageSize) + apps.PageRound(8*(nprocs+2), p.PageSize) +
 		8*p.PageSize
 	d := tmk.New(cl, p.PageSize, arenaBytes)
 	d.GCThresholdBytes = opt.GCThresholdBytes
@@ -336,8 +336,4 @@ func collectShared(d *tmk.DSM, xArr, fArr *core.Array, n int) (x, f []float64) {
 		f[i] = s.ReadF64(fArr.Base + vm.Addr(8*i))
 	}
 	return
-}
-
-func pageRound(b, ps int) int {
-	return (b + ps - 1) / ps * ps
 }

@@ -1,0 +1,34 @@
+// Registry adapter: nbf as an apps.Workload. The factory maps the
+// harness Config onto Params (knob "partners" sets the partner-list
+// length Table 2 uses).
+package nbf
+
+import "repro/internal/apps"
+
+// App adapts a generated nbf workload to the registry interface.
+type App struct{ W *Workload }
+
+// Name implements apps.Workload.
+func (a App) Name() string { return "nbf" }
+
+// Sequential implements apps.Workload.
+func (a App) Sequential() *apps.Result { return RunSequential(a.W) }
+
+// Chaos implements apps.Workload.
+func (a App) Chaos() *apps.Result { return RunChaos(a.W) }
+
+// TmkBase implements apps.Workload.
+func (a App) TmkBase() *apps.Result { return RunTmk(a.W, TmkOptions{}) }
+
+// TmkOpt implements apps.Workload.
+func (a App) TmkOpt() *apps.Result { return RunTmk(a.W, TmkOptions{Optimized: true}) }
+
+func init() {
+	apps.Register("nbf", func(cfg apps.Config) apps.Workload {
+		p := DefaultParams(cfg.N, cfg.Procs)
+		cfg.ApplyCommon(&p.Steps, &p.Seed)
+		p.Partners = cfg.Knob("partners", p.Partners)
+		p.PageSize = cfg.Knob("page_size", p.PageSize)
+		return App{W: Generate(p)}
+	}, "partners", "page_size")
+}

@@ -38,7 +38,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 	cost := p.Costs
 
 	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
-	arenaBytes := pageRound(8*n, p.PageSize)*2 + pageRound(4*n*p.Partners, p.PageSize) + 8*p.PageSize
+	arenaBytes := apps.PageRound(8*n, p.PageSize)*2 + apps.PageRound(4*n*p.Partners, p.PageSize) + 8*p.PageSize
 	d := tmk.New(cl, p.PageSize, arenaBytes)
 
 	// x and forces are allocated back to back *unaligned* so that the
@@ -189,8 +189,4 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 		res.Forces[i] = s.ReadF64(fArr.Addr(i))
 	}
 	return res
-}
-
-func pageRound(b, ps int) int {
-	return (b + ps - 1) / ps * ps
 }

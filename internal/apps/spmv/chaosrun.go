@@ -1,0 +1,108 @@
+// The CHAOS backend for spmv: the inspector runs once at program start
+// (the column structure is static), translating the column indices of
+// the owned rows into a gather schedule; each sweep gathers the updated
+// x ghosts, computes the owned rows, and relaxes the owned x entries.
+// There is no scatter phase — rows are owner-computed.
+package spmv
+
+import (
+	"repro/internal/apps"
+	"repro/internal/chaos"
+	"repro/internal/sim"
+)
+
+// RunChaos executes spmv with the inspector-executor library.
+func RunChaos(w *Workload) *apps.Result {
+	p := w.P
+	nprocs := p.Procs
+	n := p.N
+	cost := p.Costs
+	icost := p.Inspector
+	ecost := chaos.DefaultExecutorCost()
+
+	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	part := chaos.Block(n, nprocs)
+	tt := chaos.NewTransTable(part, p.TableKind)
+	counts := part.Counts()
+
+	res := &apps.Result{System: "chaos"}
+	meas := apps.NewMeasure(cl)
+	inspectorSec := make([]float64, nprocs)
+	finalX := make([][]float64, nprocs)
+	finalY := make([][]float64, nprocs)
+
+	cl.Run(func(proc *sim.Proc) {
+		me := proc.ID()
+		own := counts[me]
+		rlo, rhi := chaos.BlockRange(n, nprocs, me)
+
+		// Inspector: called once, at the beginning of the program. The
+		// reference stream is every column index of the owned rows plus
+		// the owned entries themselves (the refresh).
+		t0 := proc.Clock()
+		globals := make([]int, 0, (rhi-rlo)*(p.NNZRow+1))
+		for i := rlo; i < rhi; i++ {
+			globals = append(globals, i)
+			for k := 0; k < p.NNZRow; k++ {
+				globals = append(globals, int(w.Cols[i*p.NNZRow+k]))
+			}
+		}
+		sch := chaos.Inspect(proc, 0, globals, tt, icost)
+		inspectorSec[me] = (proc.Clock() - t0) / 1e6
+
+		xLoc := make([]float64, own+sch.Ghosts)
+		yLoc := make([]float64, own)
+		for i := rlo; i < rhi; i++ {
+			xLoc[sch.LocalOf(i)] = w.X0[i]
+		}
+
+		tag := 0
+		for step := 0; step <= p.Steps; step++ {
+			if step == 1 {
+				meas.Start(proc)
+			}
+			tag++
+			chaos.Gather(proc, tag, sch, xLoc, 1, ecost)
+			for i := rlo; i < rhi; i++ {
+				li := int(sch.LocalOf(i))
+				yLoc[li] = rowProduct(w, i, func(c int) float64 {
+					return xLoc[sch.LocalOf(c)]
+				})
+			}
+			proc.Advance(cost.MulAddUS * float64((rhi-rlo)*p.NNZRow))
+			for i := rlo; i < rhi; i++ {
+				li := int(sch.LocalOf(i))
+				xLoc[li] = refresh(xLoc[li], yLoc[li])
+			}
+			proc.Advance(cost.RefreshUSPerRow * float64(rhi-rlo))
+		}
+		meas.End(proc)
+		finalX[me] = xLoc[:own]
+		finalY[me] = yLoc
+	})
+
+	res.TimeSec = meas.TimeSec()
+	res.Messages, res.DataMB = meas.Traffic()
+	for k, v := range meas.Categories() {
+		res.AddDetail("msgs."+k, float64(v.Messages))
+		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)
+	}
+	worst := 0.0
+	for _, s := range inspectorSec {
+		if s > worst {
+			worst = s
+		}
+	}
+	res.AddDetail("inspector_s", worst)
+
+	// Assemble global state (block partition: local offsets are dense in
+	// global order).
+	res.X = make([]float64, n)
+	res.Forces = make([]float64, n)
+	for pr := 0; pr < nprocs; pr++ {
+		lo, _ := chaos.BlockRange(n, nprocs, pr)
+		copy(res.X[lo:], finalX[pr])
+		copy(res.Forces[lo:], finalY[pr])
+	}
+	return res
+}

@@ -1,0 +1,33 @@
+// Registry adapter: spmv as an apps.Workload (knob "nnz_row" sets the
+// nonzeros per row).
+package spmv
+
+import "repro/internal/apps"
+
+// App adapts a generated spmv workload to the registry interface.
+type App struct{ W *Workload }
+
+// Name implements apps.Workload.
+func (a App) Name() string { return "spmv" }
+
+// Sequential implements apps.Workload.
+func (a App) Sequential() *apps.Result { return RunSequential(a.W) }
+
+// Chaos implements apps.Workload.
+func (a App) Chaos() *apps.Result { return RunChaos(a.W) }
+
+// TmkBase implements apps.Workload.
+func (a App) TmkBase() *apps.Result { return RunTmk(a.W, TmkOptions{}) }
+
+// TmkOpt implements apps.Workload.
+func (a App) TmkOpt() *apps.Result { return RunTmk(a.W, TmkOptions{Optimized: true}) }
+
+func init() {
+	apps.Register("spmv", func(cfg apps.Config) apps.Workload {
+		p := DefaultParams(cfg.N, cfg.Procs)
+		cfg.ApplyCommon(&p.Steps, &p.Seed)
+		p.NNZRow = cfg.Knob("nnz_row", p.NNZRow)
+		p.PageSize = cfg.Knob("page_size", p.PageSize)
+		return App{W: Generate(p)}
+	}, "nnz_row", "page_size")
+}

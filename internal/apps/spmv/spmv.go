@@ -1,0 +1,186 @@
+// Package spmv implements a fourth irregular application beyond the
+// paper's two: an iterative sparse matrix-vector product, y = A*x with A
+// in CSR-like form whose column-index array is the indirection array.
+// Each sweep computes the rows a processor owns and then refreshes the
+// owned entries of the source vector x from y (a Jacobi-flavored
+// relaxation), so processors must refetch the x values their columns
+// name every step. The sparsity pattern is banded-random: mostly-local
+// coupling with a few far columns per row, the structure of an
+// unstructured-mesh matrix.
+//
+// Unlike moldyn and nbf there is no reduction phase — each row is
+// owner-computed — so the communication is pure gather: CHAOS's
+// inspector builds the ghost schedule once, and Validate's INDIRECT
+// descriptor over the column-index section prefetches the same pages in
+// one aggregated exchange per remote processor. The same four backends
+// as the other apps are provided and verified bit-identical.
+package spmv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/chaos"
+	"repro/internal/sim"
+)
+
+// Costs is the compute-cost model (microseconds).
+type Costs struct {
+	MulAddUS        float64 // one nonzero multiply-accumulate (incl. the indirection)
+	RefreshUSPerRow float64 // one x-entry relaxation update
+}
+
+// DefaultCosts returns the calibrated model (matching the former
+// examples/spmv constants).
+func DefaultCosts() Costs {
+	return Costs{MulAddUS: 0.15, RefreshUSPerRow: 0.10}
+}
+
+// Params configures an spmv experiment.
+type Params struct {
+	N         int // matrix dimension (rows == columns)
+	NNZRow    int // nonzeros per row
+	Steps     int // timed sweeps (one warmup sweep runs first)
+	Procs     int
+	Band      int // half-width of the near-diagonal band the local columns draw from
+	FarPerRow int // far (uniformly random) columns per row
+	Seed      int64
+	PageSize  int
+	TableKind chaos.TableKind
+	Costs     Costs
+	Inspector chaos.InspectorCost
+}
+
+// defaultInspector is the calibrated CHAOS inspector cost model, shared
+// by DefaultParams and Generate's zero-value fallback so the two cannot
+// drift.
+func defaultInspector() chaos.InspectorCost {
+	return chaos.InspectorCost{HashUSPerEntry: 0.9, BuildUSPerElem: 0.3}
+}
+
+// DefaultParams returns the banded-random configuration of the former
+// example: 24 nonzeros per row, 4 of them far, a ±128 band.
+func DefaultParams(n, procs int) Params {
+	return Params{
+		N:         n,
+		NNZRow:    24,
+		Steps:     12,
+		Procs:     procs,
+		Band:      128,
+		FarPerRow: 4,
+		Seed:      7,
+		PageSize:  4096,
+		TableKind: chaos.Replicated,
+		Costs:     DefaultCosts(),
+		Inspector: defaultInspector(),
+	}
+}
+
+// Workload is the generated input: the initial vector and the sparse
+// matrix (concatenated per-row column indices and values, both of
+// length N*NNZRow).
+type Workload struct {
+	P    Params
+	X0   []float64
+	Cols []int32
+	Vals []float64
+}
+
+// Generate builds the workload deterministically from Params.Seed. Row
+// i references NNZRow-FarPerRow columns within ±Band of i (periodic)
+// plus FarPerRow uniformly random ones; values are quantized and scaled
+// by 1/NNZRow so the relaxation stays bounded.
+func Generate(p Params) *Workload {
+	if p.Costs == (Costs{}) {
+		p.Costs = DefaultCosts()
+	}
+	if p.Inspector == (chaos.InspectorCost{}) {
+		p.Inspector = defaultInspector()
+	}
+	if p.PageSize == 0 {
+		p.PageSize = 4096
+	}
+	if p.Band == 0 {
+		p.Band = 128
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	x := make([]float64, n)
+	cols := make([]int32, n*p.NNZRow)
+	vals := make([]float64, n*p.NNZRow)
+	for i := 0; i < n; i++ {
+		x[i] = apps.Q(rng.Float64())
+		for k := 0; k < p.NNZRow; k++ {
+			var c int
+			if k < p.NNZRow-p.FarPerRow {
+				// Floored modulo: i-Band may be more than one n below
+				// zero when the matrix is smaller than the band.
+				c = (i + rng.Intn(2*p.Band+1) - p.Band) % n
+				if c < 0 {
+					c += n
+				}
+			} else {
+				c = rng.Intn(n)
+			}
+			cols[i*p.NNZRow+k] = int32(c)
+			vals[i*p.NNZRow+k] = apps.Q(rng.Float64() / float64(p.NNZRow))
+		}
+	}
+	return &Workload{P: p, X0: x, Cols: cols, Vals: vals}
+}
+
+// rowProduct computes row i of y = A*x; every backend uses it so the
+// per-row accumulation order (and hence the floating-point result) is
+// identical everywhere. at resolves a global column index to its x
+// value.
+func rowProduct(w *Workload, i int, at func(c int) float64) float64 {
+	acc := 0.0
+	for k := 0; k < w.P.NNZRow; k++ {
+		idx := i*w.P.NNZRow + k
+		acc += w.Vals[idx] * at(int(w.Cols[idx]))
+	}
+	return acc
+}
+
+// refresh relaxes one x entry toward y (exact after re-quantization).
+func refresh(x, y float64) float64 {
+	return apps.Q(0.5*x + 0.5*y)
+}
+
+// RunSequential is the reference program.
+func RunSequential(w *Workload) *apps.Result {
+	p := w.P
+	n := p.N
+	x := append([]float64(nil), w.X0...)
+	y := make([]float64, n)
+
+	cl := sim.NewCluster(sim.DefaultConfig(1))
+	proc := cl.Proc(0)
+	var t0 float64
+	for step := 0; step <= p.Steps; step++ {
+		if step == 1 {
+			t0 = proc.Time() // warmup excluded
+		}
+		for i := 0; i < n; i++ {
+			y[i] = rowProduct(w, i, func(c int) float64 { return x[c] })
+		}
+		proc.Advance(p.Costs.MulAddUS * float64(n*p.NNZRow))
+		for i := 0; i < n; i++ {
+			x[i] = refresh(x[i], y[i])
+		}
+		proc.Advance(p.Costs.RefreshUSPerRow * float64(n))
+	}
+	return &apps.Result{
+		System:  "seq",
+		TimeSec: (proc.Time() - t0) / 1e6,
+		Speedup: 1,
+		Forces:  y,
+		X:       x,
+	}
+}
+
+func (w *Workload) String() string {
+	return fmt.Sprintf("spmv n=%d nnz/row=%d steps=%d procs=%d",
+		w.P.N, w.P.NNZRow, w.P.Steps, w.P.Procs)
+}

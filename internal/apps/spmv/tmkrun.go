@@ -1,0 +1,140 @@
+// The TreadMarks backends for spmv: x, y, and the matrix (cols, vals)
+// live in the DSM. The base system demand-pages the x values each sweep;
+// the optimized system issues a Validate with an INDIRECT descriptor
+// over the column-index section of the owned rows, prefetching exactly
+// the x pages those columns name in one aggregated exchange per remote
+// processor, plus WRITE_ALL/READ&WRITE_ALL direct descriptors for the
+// owner-computed y and x blocks.
+package spmv
+
+import (
+	"repro/internal/apps"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/rsd"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+const (
+	barCompute = iota + 1
+	barRefresh
+)
+
+// TmkOptions selects the TreadMarks variant.
+type TmkOptions struct {
+	Optimized bool
+}
+
+// RunTmk executes spmv on the TreadMarks DSM.
+func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
+	p := w.P
+	nprocs := p.Procs
+	n := p.N
+	nnz := n * p.NNZRow
+	cost := p.Costs
+
+	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	arenaBytes := apps.PageRound(8*n, p.PageSize)*2 +
+		apps.PageRound(4*nnz, p.PageSize) + apps.PageRound(8*nnz, p.PageSize) + 8*p.PageSize
+	d := tmk.New(cl, p.PageSize, arenaBytes)
+
+	xArr := &core.Array{Name: "x", Base: d.Alloc(8 * n), ElemSize: 8, Len: n}
+	yArr := &core.Array{Name: "y", Base: d.Alloc(8 * n), ElemSize: 8, Len: n}
+	colArr := &core.Array{Name: "cols", Base: d.Alloc(4 * nnz), ElemSize: 4, Len: nnz}
+	valArr := &core.Array{Name: "vals", Base: d.Alloc(8 * nnz), ElemSize: 8, Len: nnz}
+
+	s0 := d.Node(0).Space()
+	for i := 0; i < n; i++ {
+		s0.WriteF64(xArr.Addr(i), w.X0[i])
+		s0.WriteF64(yArr.Addr(i), 0)
+	}
+	for i := 0; i < nnz; i++ {
+		s0.WriteI32(colArr.Addr(i), w.Cols[i])
+		s0.WriteF64(valArr.Addr(i), w.Vals[i])
+	}
+	d.SealInit()
+
+	res := &apps.Result{System: "tmk"}
+	if opt.Optimized {
+		res.System = "tmk-opt"
+	}
+	meas := apps.NewMeasure(cl)
+	scans := make([]float64, nprocs)
+
+	cl.Run(func(proc *sim.Proc) {
+		me := proc.ID()
+		node := d.Node(me)
+		space := node.Space()
+		var rt *core.Runtime
+		if opt.Optimized {
+			rt = core.NewRuntime(node)
+		}
+		rlo, rhi := chaos.BlockRange(n, nprocs, me)
+
+		for step := 0; step <= p.Steps; step++ {
+			if step == 1 {
+				meas.Start(proc)
+			}
+			if opt.Optimized && rlo < rhi {
+				before := rt.ScanEntries
+				rt.Validate(
+					core.Desc{Type: core.Indirect, Data: xArr, Indir: colArr,
+						Section: rsd.Range1(rlo*p.NNZRow, rhi*p.NNZRow-1),
+						Access:  core.Read, Sched: 1},
+					core.Desc{Type: core.Direct, Data: yArr,
+						Section: rsd.Range1(rlo, rhi-1),
+						Access:  core.WriteAll, Sched: 2},
+				)
+				scans[me] += rt.ScanUSPerEntry * float64(rt.ScanEntries-before) / 1e6
+			}
+			for i := rlo; i < rhi; i++ {
+				space.WriteF64(yArr.Addr(i), rowProduct(w, i, func(c int) float64 {
+					return space.ReadF64(xArr.Addr(c))
+				}))
+			}
+			proc.Advance(cost.MulAddUS * float64((rhi-rlo)*p.NNZRow))
+			node.Barrier(barCompute)
+
+			if opt.Optimized && rlo < rhi {
+				rt.Validate(
+					core.Desc{Type: core.Direct, Data: yArr,
+						Section: rsd.Range1(rlo, rhi-1), Access: core.Read, Sched: 3},
+					core.Desc{Type: core.Direct, Data: xArr,
+						Section: rsd.Range1(rlo, rhi-1), Access: core.ReadWriteAll, Sched: 4},
+				)
+			}
+			for i := rlo; i < rhi; i++ {
+				space.WriteF64(xArr.Addr(i),
+					refresh(space.ReadF64(xArr.Addr(i)), space.ReadF64(yArr.Addr(i))))
+			}
+			proc.Advance(cost.RefreshUSPerRow * float64(rhi-rlo))
+			node.Barrier(barRefresh)
+		}
+		meas.End(proc)
+	})
+
+	res.TimeSec = meas.TimeSec()
+	res.Messages, res.DataMB = meas.Traffic()
+	for k, v := range meas.Categories() {
+		res.AddDetail("msgs."+k, float64(v.Messages))
+		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)
+	}
+	worst := 0.0
+	for _, s := range scans {
+		if s > worst {
+			worst = s
+		}
+	}
+	res.AddDetail("scan_s", worst)
+
+	// Collect final state via proc 0 (outside the window).
+	s := d.Node(0).Space()
+	res.X = make([]float64, n)
+	res.Forces = make([]float64, n)
+	for i := 0; i < n; i++ {
+		res.X[i] = s.ReadF64(xArr.Addr(i))
+		res.Forces[i] = s.ReadF64(yArr.Addr(i))
+	}
+	return res
+}

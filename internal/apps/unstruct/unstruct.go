@@ -228,7 +228,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 	cost := p.Costs
 
 	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
-	arenaBytes := pageRound(8*n, p.PageSize)*2 + pageRound(8*len(w.Edges), p.PageSize) + 4*p.PageSize
+	arenaBytes := apps.PageRound(8*n, p.PageSize)*2 + apps.PageRound(8*len(w.Edges), p.PageSize) + 4*p.PageSize
 	d := tmk.New(cl, p.PageSize, arenaBytes)
 	xArr := &core.Array{Name: "x", Base: d.Alloc(8 * n), ElemSize: 8, Len: n}
 	yArr := &core.Array{Name: "y", Base: d.Alloc(8 * n), ElemSize: 8, Len: n}
@@ -444,8 +444,6 @@ func RunChaos(w *Workload) *apps.Result {
 	}
 	return res
 }
-
-func pageRound(b, ps int) int { return (b + ps - 1) / ps * ps }
 
 func (w *Workload) String() string {
 	return fmt.Sprintf("unstruct nodes=%d edges=%d procs=%d", w.P.Nodes, len(w.Edges), w.P.Procs)

@@ -1,8 +1,13 @@
 // Package bench assembles the paper's evaluation tables (§5): it runs
 // the sequential, CHAOS, base-TreadMarks, and optimized-TreadMarks
 // backends over the configured workloads, verifies that all backends
-// produce bit-identical results, and formats rows exactly like Tables 1
-// and 2 (execution time, speedup, message count, data volume).
+// produce bit-identical results, and formats rows exactly like Tables
+// 1-3 (execution time, speedup, message count, data volume).
+//
+// The harness is application-agnostic: workloads are built and run
+// through the internal/apps registry, so a new application only needs to
+// self-register a factory to get a table. The blank imports below link
+// every first-class app into any binary that uses the harness.
 package bench
 
 import (
@@ -11,8 +16,12 @@ import (
 	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/apps/moldyn"
-	"repro/internal/apps/nbf"
+
+	// Register the first-class applications.
+	_ "repro/internal/apps/moldyn"
+	_ "repro/internal/apps/nbf"
+	_ "repro/internal/apps/spmv"
+	_ "repro/internal/apps/unstruct"
 )
 
 // Row is one line of a results table.
@@ -74,121 +83,130 @@ func (t *Table) DetailString() string {
 	return b.String()
 }
 
-// MoldynResults holds one moldyn configuration's verified backend runs.
-type MoldynResults struct {
+// AppResults holds one configuration's verified backend runs for any
+// registered application.
+type AppResults struct {
+	App    string
 	Config string
-	Seq    *apps.Result
-	Chaos  *apps.Result
-	Base   *apps.Result
-	Opt    *apps.Result
+	*apps.VariantSet
 }
 
-// RunMoldyn executes all four backends for one configuration and
-// verifies bit-exact agreement.
-func RunMoldyn(p moldyn.Params) (*MoldynResults, error) {
-	w := moldyn.Generate(p)
-	seq := moldyn.RunSequential(w)
-	ch := moldyn.RunChaos(w)
-	base := moldyn.RunTmk(w, moldyn.TmkOptions{})
-	opt := moldyn.RunTmk(w, moldyn.TmkOptions{Optimized: true})
-	for _, r := range []*apps.Result{ch, base, opt} {
-		if err := apps.VerifyEqual(seq, r); err != nil {
-			return nil, fmt.Errorf("moldyn %s: %w", r.System, err)
-		}
+// RunApp builds the named registered application's workload from cfg,
+// executes all four backends, and verifies bit-exact agreement.
+func RunApp(name string, cfg apps.Config, label string) (*AppResults, error) {
+	w, err := apps.New(name, cfg)
+	if err != nil {
+		return nil, err
 	}
-	cfg := fmt.Sprintf("Every %d iterations (seq = %.1f s)", p.UpdateEvery, seq.TimeSec)
-	fill(seq, []*apps.Result{ch, base, opt})
-	return &MoldynResults{Config: cfg, Seq: seq, Chaos: ch, Base: base, Opt: opt}, nil
-}
-
-// NBFResults holds one nbf configuration's verified backend runs.
-type NBFResults struct {
-	Config string
-	Seq    *apps.Result
-	Chaos  *apps.Result
-	Base   *apps.Result
-	Opt    *apps.Result
-}
-
-// RunNBF executes all four backends for one nbf problem size and
-// verifies bit-exact agreement.
-func RunNBF(p nbf.Params, label string) (*NBFResults, error) {
-	w := nbf.Generate(p)
-	seq := nbf.RunSequential(w)
-	ch := nbf.RunChaos(w)
-	base := nbf.RunTmk(w, nbf.TmkOptions{})
-	opt := nbf.RunTmk(w, nbf.TmkOptions{Optimized: true})
-	for _, r := range []*apps.Result{ch, base, opt} {
-		if err := apps.VerifyEqual(seq, r); err != nil {
-			return nil, fmt.Errorf("nbf %s: %w", r.System, err)
-		}
+	vs, err := apps.RunAll(w)
+	if err != nil {
+		return nil, err
 	}
-	cfg := fmt.Sprintf("%s (seq = %.1f s)", label, seq.TimeSec)
-	fill(seq, []*apps.Result{ch, base, opt})
-	return &NBFResults{Config: cfg, Seq: seq, Chaos: ch, Base: base, Opt: opt}, nil
+	return &AppResults{
+		App:        name,
+		Config:     fmt.Sprintf("%s (seq = %.1f s)", label, vs.Seq.TimeSec),
+		VariantSet: vs,
+	}, nil
 }
 
-// fill computes speedups against the sequential run.
-func fill(seq *apps.Result, rs []*apps.Result) {
-	for _, r := range rs {
-		if r.TimeSec > 0 {
-			r.Speedup = seq.TimeSec / r.TimeSec
-		}
-	}
+// RowSpec names one table row group: a label and the workload config
+// that produces it.
+type RowSpec struct {
+	Label string
+	Cfg   apps.Config
 }
 
-// rowsOf converts one configuration's results into table rows in the
-// paper's order (CHAOS, Tmk base, Tmk optimized).
-func rowsOf(cfg string, ch, base, opt *apps.Result) []Row {
-	mk := func(sys string, r *apps.Result) Row {
-		return Row{Config: cfg, System: sys, TimeSec: r.TimeSec, Speedup: r.Speedup,
-			Messages: r.Messages, DataMB: r.DataMB, Detail: r.Detail}
-	}
-	return []Row{mk("CHAOS", ch), mk("Tmk base", base), mk("Tmk optimized", opt)}
-}
-
-// Table1 reproduces the paper's Table 1: moldyn at 8 processors with the
-// interaction list updated at the given intervals.
-func Table1(base moldyn.Params, updates []int) (*Table, []*MoldynResults, error) {
-	t := &Table{Title: fmt.Sprintf(
-		"Table 1: Moldyn - %d processor results (N=%d, %d steps). The interaction list is updated at varying intervals.",
-		base.Procs, base.N, base.Steps)}
-	var all []*MoldynResults
-	for _, u := range updates {
-		p := base
-		p.UpdateEvery = u
-		res, err := RunMoldyn(p)
+// AppTable runs every configuration of one registered application and
+// assembles the table. withSeq additionally emits the sequential row
+// (Tables 1 and 2 fold it into the configuration label; Table 3 prints
+// it).
+func AppTable(title, app string, specs []RowSpec, withSeq bool) (*Table, []*AppResults, error) {
+	t := &Table{Title: title}
+	var all []*AppResults
+	for _, s := range specs {
+		res, err := RunApp(app, s.Cfg, s.Label)
 		if err != nil {
 			return nil, nil, err
 		}
 		all = append(all, res)
-		t.Rows = append(t.Rows, rowsOf(res.Config, res.Chaos, res.Base, res.Opt)...)
+		t.Rows = append(t.Rows, rowsOf(res, withSeq)...)
 	}
 	return t, all, nil
 }
 
-// NBFSize names one nbf problem size.
-type NBFSize struct {
+// rowsOf converts one configuration's results into table rows in the
+// paper's order (CHAOS, Tmk base, Tmk optimized), optionally preceded
+// by the sequential reference.
+func rowsOf(res *AppResults, withSeq bool) []Row {
+	mk := func(sys string, r *apps.Result) Row {
+		return Row{Config: res.Config, System: sys, TimeSec: r.TimeSec, Speedup: r.Speedup,
+			Messages: r.Messages, DataMB: r.DataMB, Detail: r.Detail}
+	}
+	var rows []Row
+	if withSeq {
+		rows = append(rows, mk("Sequential", res.Seq))
+	}
+	return append(rows,
+		mk("CHAOS", res.Chaos), mk("Tmk base", res.Base), mk("Tmk optimized", res.Opt))
+}
+
+// Size names one problem size of a table sweep.
+type Size struct {
 	Label string
 	N     int
 }
 
-// Table2 reproduces the paper's Table 2: the nbf kernel at 8 processors
-// across problem sizes (including the false-sharing-inducing one).
-func Table2(base nbf.Params, sizes []NBFSize) (*Table, []*NBFResults, error) {
-	t := &Table{Title: fmt.Sprintf(
-		"Table 2: NBF Kernel - %d processor results (%d partners/molecule, %d timed steps).",
-		base.Procs, base.Partners, base.Steps)}
-	var all []*NBFResults
-	for _, sz := range sizes {
-		p := base
-		p.N = sz.N
-		res, err := RunNBF(p, sz.Label)
-		if err != nil {
-			return nil, nil, err
-		}
-		all = append(all, res)
-		t.Rows = append(t.Rows, rowsOf(res.Config, res.Chaos, res.Base, res.Opt)...)
+// fmtN renders a config value for a table title; zero means the app's
+// default was used, which the title must not misreport as 0.
+func fmtN(v int, unit string) string {
+	if v > 0 {
+		return fmt.Sprintf("%d %s", v, unit)
 	}
-	return t, all, nil
+	return "default " + unit
+}
+
+// Table1 reproduces the paper's Table 1: moldyn with the interaction
+// list updated at the given intervals.
+func Table1(cfg apps.Config, updates []int) (*Table, []*AppResults, error) {
+	t := fmt.Sprintf(
+		"Table 1: Moldyn - %d processor results (N=%d, %s). The interaction list is updated at varying intervals.",
+		cfg.Procs, cfg.N, fmtN(cfg.Steps, "steps"))
+	specs := make([]RowSpec, 0, len(updates))
+	for _, u := range updates {
+		specs = append(specs, RowSpec{
+			Label: fmt.Sprintf("Every %d iterations", u),
+			Cfg:   cfg.WithKnob("update_every", u),
+		})
+	}
+	return AppTable(t, "moldyn", specs, false)
+}
+
+// Table2 reproduces the paper's Table 2: the nbf kernel across problem
+// sizes (including the false-sharing-inducing one).
+func Table2(cfg apps.Config, sizes []Size) (*Table, []*AppResults, error) {
+	t := fmt.Sprintf(
+		"Table 2: NBF Kernel - %d processor results (%s, %s).",
+		cfg.Procs, fmtN(cfg.Knob("partners", 0), "partners/molecule"),
+		fmtN(cfg.Steps, "timed steps"))
+	return AppTable(t, "nbf", sizeSpecs(cfg, sizes), false)
+}
+
+// Table3 extends the evaluation to the spmv workload: all four systems
+// (sequential included) across matrix sizes.
+func Table3(cfg apps.Config, sizes []Size) (*Table, []*AppResults, error) {
+	t := fmt.Sprintf(
+		"Table 3: SPMV - %d processor results (%s, %s).",
+		cfg.Procs, fmtN(cfg.Knob("nnz_row", 0), "nonzeros/row"),
+		fmtN(cfg.Steps, "timed sweeps"))
+	return AppTable(t, "spmv", sizeSpecs(cfg, sizes), true)
+}
+
+func sizeSpecs(cfg apps.Config, sizes []Size) []RowSpec {
+	specs := make([]RowSpec, 0, len(sizes))
+	for _, sz := range sizes {
+		c := cfg
+		c.N = sz.N
+		specs = append(specs, RowSpec{Label: sz.Label, Cfg: c})
+	}
+	return specs
 }

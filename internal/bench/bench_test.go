@@ -4,8 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/apps/moldyn"
-	"repro/internal/apps/nbf"
+	"repro/internal/apps"
 )
 
 // These tests enforce the paper's qualitative claims — who wins, in what
@@ -13,11 +12,10 @@ import (
 // (protocol, Validate, CHAOS, cost model) that would change the paper's
 // story fails CI rather than silently producing a different table.
 
-func table1Small(t *testing.T) (*Table, []*MoldynResults) {
+func table1Small(t *testing.T) (*Table, []*AppResults) {
 	t.Helper()
-	p := moldyn.DefaultParams(768, 8)
-	p.Steps = 24
-	tbl, all, err := Table1(p, []int{12, 6})
+	cfg := apps.Config{N: 768, Procs: 8, Steps: 24}
+	tbl, all, err := Table1(cfg, []int{12, 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +51,7 @@ func TestTable1Shape(t *testing.T) {
 	}
 	// C2: the opt-vs-CHAOS gap moves in the DSM's favor as the update
 	// frequency rises (update interval 12 -> 6).
-	adv := func(r *MoldynResults) float64 {
+	adv := func(r *AppResults) float64 {
 		return (r.Chaos.TimeSec - r.Opt.TimeSec) / r.Chaos.TimeSec
 	}
 	if adv(all[1]) <= adv(all[0]) {
@@ -66,9 +64,8 @@ func TestTable2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape test runs seconds")
 	}
-	p := nbf.DefaultParams(0, 8)
-	p.Partners = 50
-	tbl, all, err := Table2(p, []NBFSize{
+	cfg := apps.Config{Procs: 8, Steps: 10}.WithKnob("partners", 50)
+	tbl, all, err := Table2(cfg, []Size{
 		{Label: "8 x 1024", N: 8 * 1024},
 		{Label: "8 x 1000", N: 8 * 1000},
 	})
@@ -101,6 +98,32 @@ func TestTable2Shape(t *testing.T) {
 	}
 }
 
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test runs seconds")
+	}
+	// Page 1024 B so each 512-row block spans four pages and
+	// aggregation has page sets to coalesce.
+	cfg := apps.Config{Procs: 8, Steps: 6}.WithKnob("nnz_row", 12).WithKnob("page_size", 1024)
+	tbl, all, err := Table3(cfg, []Size{{Label: "N = 4096", N: 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := all[0]
+	// Aggregated prefetch beats demand paging on messages and time.
+	if r.Opt.Messages >= r.Base.Messages {
+		t.Errorf("opt msgs (%d) not below base (%d)", r.Opt.Messages, r.Base.Messages)
+	}
+	if r.Opt.TimeSec >= r.Base.TimeSec {
+		t.Errorf("opt (%.3fs) not faster than base (%.3fs)", r.Opt.TimeSec, r.Base.TimeSec)
+	}
+	// Table 3 prints the sequential row.
+	out := tbl.String()
+	if !strings.Contains(out, "Sequential") || !strings.Contains(out, "SPMV") {
+		t.Fatalf("table 3 missing sequential row or title:\n%s", out)
+	}
+}
+
 func TestTableFormatting(t *testing.T) {
 	tbl := &Table{Title: "T", Rows: []Row{
 		{Config: "a", System: "CHAOS", TimeSec: 1.5, Speedup: 6, Messages: 100, DataMB: 2},
@@ -116,11 +139,9 @@ func TestTableFormatting(t *testing.T) {
 	}
 }
 
-func TestRunMoldynVerifies(t *testing.T) {
-	p := moldyn.DefaultParams(256, 4)
-	p.Steps = 4
-	p.UpdateEvery = 2
-	res, err := RunMoldyn(p)
+func TestRunAppMoldynVerifies(t *testing.T) {
+	cfg := apps.Config{N: 256, Procs: 4, Steps: 4}.WithKnob("update_every", 2)
+	res, err := RunApp("moldyn", cfg, "test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,15 +150,33 @@ func TestRunMoldynVerifies(t *testing.T) {
 	}
 }
 
-func TestRunNBFVerifies(t *testing.T) {
-	p := nbf.DefaultParams(512, 4)
-	p.Steps = 3
-	p.Partners = 20
-	res, err := RunNBF(p, "test")
+func TestRunAppNBFVerifies(t *testing.T) {
+	cfg := apps.Config{N: 512, Procs: 4, Steps: 3}.WithKnob("partners", 20)
+	res, err := RunApp("nbf", cfg, "test")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Base.Speedup <= 0 {
 		t.Error("speedups not filled")
+	}
+}
+
+func TestRunAppUnknownName(t *testing.T) {
+	if _, err := RunApp("no-such-app", apps.Config{N: 8, Procs: 2}, "x"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRegistryHasAllFirstClassApps(t *testing.T) {
+	names := apps.Names()
+	want := []string{"moldyn", "nbf", "spmv", "unstruct"}
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("app %q not registered (have %v)", w, names)
+		}
 	}
 }

@@ -168,7 +168,10 @@ type lockServer struct {
 }
 
 func (d *DSM) lockServer(id int) *lockServer {
-	// Lazily grown; callers use small dense lock ids.
+	// Lazily grown; callers use small dense lock ids. Guarded: nodes on
+	// different processors may acquire locks concurrently.
+	d.lockMu.Lock()
+	defer d.lockMu.Unlock()
 	for len(d.locks) <= id {
 		d.locks = append(d.locks, &lockServer{})
 	}

@@ -31,8 +31,9 @@ type DSM struct {
 	arena   *vm.Arena
 	nodes   []*Node
 
-	board *noticeBoard
-	locks []*lockServer
+	board  *noticeBoard
+	lockMu sync.Mutex // guards locks (lazily grown under concurrency)
+	locks  []*lockServer
 
 	// GCThresholdBytes bounds the consistency data (stored diffs) the
 	// cluster retains. When the total crosses the threshold, the next
