@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/apps"
@@ -258,6 +259,33 @@ func BenchmarkInspector(b *testing.B) {
 			chaos.Inspect(p, i, globals, tt, chaos.DefaultInspectorCost())
 		})
 	}
+}
+
+// BenchmarkStatsCountGlobal measures the traffic-counter hot path when
+// every simulated processor funnels through the single global shard —
+// the pre-sharding behaviour, kept as the contention baseline.
+func BenchmarkStatsCountGlobal(b *testing.B) {
+	s := sim.NewStats(8)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Count("tmk.diff", 2, 4096)
+		}
+	})
+}
+
+// BenchmarkStatsCountSharded measures the same path with per-processor
+// shards (CountP), the layout every message path now uses: each
+// goroutine hits its own mutex and cache line, so the counters scale
+// instead of serializing.
+func BenchmarkStatsCountSharded(b *testing.B) {
+	s := sim.NewStats(8)
+	var ids atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(ids.Add(1)-1) % 8
+		for pb.Next() {
+			s.CountP(id, "tmk.diff", 2, 4096)
+		}
+	})
 }
 
 // BenchmarkRCB measures the recursive coordinate bisection partitioner.

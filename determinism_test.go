@@ -1,0 +1,86 @@
+// Cross-backend determinism stress: every application and backend must
+// produce byte-identical (simulated time, messages, bytes) triples on
+// repeated runs — the property the tables and their golden CI diff rely
+// on. Run under -race in CI, this doubles as a scheduler-stress harness
+// for the ordering core in internal/sim.
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/moldyn"
+	"repro/internal/apps/nbf"
+	"repro/internal/apps/spmv"
+)
+
+// triple is the exact-comparison record: raw float64 bits for the time
+// so "close" can never pass as "equal".
+type triple struct {
+	timeBits uint64
+	msgs     int64
+	dataBits uint64
+}
+
+func tripleOf(r *apps.Result) triple {
+	return triple{
+		timeBits: math.Float64bits(r.TimeSec),
+		msgs:     r.Messages,
+		dataBits: math.Float64bits(r.DataMB),
+	}
+}
+
+func stress(t *testing.T, name string, runs int, run func() *apps.Result) {
+	t.Helper()
+	ref := run()
+	refT := tripleOf(ref)
+	for i := 1; i < runs; i++ {
+		r := run()
+		if got := tripleOf(r); got != refT {
+			t.Errorf("%s run %d: (%v, %d, %v) != reference (%v, %d, %v)",
+				name, i, r.TimeSec, r.Messages, r.DataMB,
+				ref.TimeSec, ref.Messages, ref.DataMB)
+			return
+		}
+		if err := apps.VerifyEqual(ref, r); err != nil {
+			t.Errorf("%s run %d: state diverged: %v", name, i, err)
+			return
+		}
+	}
+}
+
+func TestMoldynByteIdenticalAcrossRuns(t *testing.T) {
+	p := moldyn.DefaultParams(128, 4)
+	p.Steps = 6
+	p.UpdateEvery = 2
+	w := moldyn.Generate(p)
+	stress(t, "moldyn/chaos", 4, func() *apps.Result { return moldyn.RunChaos(w) })
+	stress(t, "moldyn/tmk", 4, func() *apps.Result { return moldyn.RunTmk(w, moldyn.TmkOptions{}) })
+	stress(t, "moldyn/tmk-opt", 4, func() *apps.Result {
+		return moldyn.RunTmk(w, moldyn.TmkOptions{Optimized: true})
+	})
+}
+
+func TestNBFByteIdenticalAcrossRuns(t *testing.T) {
+	p := nbf.DefaultParams(512, 4)
+	p.Steps = 4
+	p.Partners = 24
+	w := nbf.Generate(p)
+	stress(t, "nbf/chaos", 4, func() *apps.Result { return nbf.RunChaos(w) })
+	stress(t, "nbf/tmk", 4, func() *apps.Result { return nbf.RunTmk(w, nbf.TmkOptions{}) })
+	stress(t, "nbf/tmk-opt", 4, func() *apps.Result {
+		return nbf.RunTmk(w, nbf.TmkOptions{Optimized: true})
+	})
+}
+
+func TestSpmvByteIdenticalAcrossRuns(t *testing.T) {
+	p := spmv.DefaultParams(1024, 4)
+	p.Steps = 4
+	w := spmv.Generate(p)
+	stress(t, "spmv/chaos", 4, func() *apps.Result { return spmv.RunChaos(w) })
+	stress(t, "spmv/tmk", 4, func() *apps.Result { return spmv.RunTmk(w, spmv.TmkOptions{}) })
+	stress(t, "spmv/tmk-opt", 4, func() *apps.Result {
+		return spmv.RunTmk(w, spmv.TmkOptions{Optimized: true})
+	})
+}

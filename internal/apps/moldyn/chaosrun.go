@@ -188,15 +188,14 @@ func allgatherX(proc *sim.Proc, tag int, part *chaos.Partition,
 			xGlob[3*g+dd] = xLoc[3*k+dd]
 		}
 	}
-	for i := 0; i < nprocs-1; i++ {
-		from, payload := proc.Recv("chaos.allgather", tag)
+	proc.RecvEach("chaos.allgather", tag, nprocs-1, func(from int, payload any) {
 		vals := payload.([]float64)
 		for k, g := range ownGlobals[from] {
 			for dd := 0; dd < 3; dd++ {
 				xGlob[3*g+dd] = vals[3*k+dd]
 			}
 		}
-	}
+	})
 }
 
 // exchangePairs routes each builder's per-owner pair buckets to their
@@ -215,10 +214,9 @@ func exchangePairs(proc *sim.Proc, tag int, buckets [][][2]int32) [][2]int32 {
 		}
 		proc.Send(o, "chaos.pairx", tag, buckets[o], 8*len(buckets[o]))
 	}
-	for i := 0; i < np-1; i++ {
-		from, payload := proc.Recv("chaos.pairx", tag)
+	proc.RecvEach("chaos.pairx", tag, np-1, func(from int, payload any) {
 		byBuilder[from] = payload.([][2]int32)
-	}
+	})
 	var out [][2]int32
 	for b := 0; b < np; b++ {
 		out = append(out, byBuilder[b]...)

@@ -185,13 +185,21 @@ func TestRebuildChangesPairs(t *testing.T) {
 }
 
 func TestTmkDeterministicAcrossRuns(t *testing.T) {
+	// Exact equality, including simulated times — no tolerance band. The
+	// chaos backend is included because its gather/scatter/allgather
+	// receive path was the historically wobbly one.
 	p := testParams(192, 4, 4, 2)
 	w := Generate(p)
-	a := RunTmk(w, TmkOptions{Optimized: true})
-	b := RunTmk(w, TmkOptions{Optimized: true})
-	if a.TimeSec != b.TimeSec || a.Messages != b.Messages || a.DataMB != b.DataMB {
-		t.Errorf("nondeterministic tmk-opt: (%v,%d,%v) vs (%v,%d,%v)",
-			a.TimeSec, a.Messages, a.DataMB, b.TimeSec, b.Messages, b.DataMB)
+	for name, run := range map[string]func() *apps.Result{
+		"tmk-opt": func() *apps.Result { return RunTmk(w, TmkOptions{Optimized: true}) },
+		"chaos":   func() *apps.Result { return RunChaos(w) },
+	} {
+		a := run()
+		b := run()
+		if a.TimeSec != b.TimeSec || a.Messages != b.Messages || a.DataMB != b.DataMB {
+			t.Errorf("%s nondeterministic: (%v,%d,%v) vs (%v,%d,%v)",
+				name, a.TimeSec, a.Messages, a.DataMB, b.TimeSec, b.Messages, b.DataMB)
+		}
 	}
 }
 

@@ -162,10 +162,9 @@ func Inspect(p *sim.Proc, tag int, globals []int, tt *TransTable, cost Inspector
 		}
 		p.Send(q, "chaos.sched", tag, &reqMsg{wants: sch.RecvFrom[q]}, 4*len(sch.RecvFrom[q]))
 	}
-	for q := 0; q < nprocs-1; q++ {
-		from, payload := p.Recv("chaos.sched", tag)
+	p.RecvEach("chaos.sched", tag, nprocs-1, func(from int, payload any) {
 		sch.SendTo[from] = payload.(*reqMsg).wants
-	}
+	})
 	return sch
 }
 
@@ -203,15 +202,17 @@ func Gather(p *sim.Proc, tag int, sch *Schedule, data []float64, width int, cost
 		p.Advance(cost.PackUSPerElem * float64(len(vals)))
 		p.Send(q, "chaos.gather", tag, vals, 8*len(vals))
 	}
-	for k := 0; k < expect; k++ {
-		from, payload := p.Recv("chaos.gather", tag)
+	// Drain in the total message order (not arrival order) so the
+	// interleave of causal clock merges and unpack charges — and hence
+	// the simulated time — is identical every run.
+	p.RecvEach("chaos.gather", tag, expect, func(from int, payload any) {
 		vals := payload.([]float64)
 		slots := sch.RecvSlot[from]
 		for i := range slots {
 			copy(data[int(slots[i])*width:int(slots[i])*width+width], vals[i*width:i*width+width])
 		}
 		p.Advance(cost.PackUSPerElem * float64(len(vals)))
-	}
+	})
 }
 
 // ScatterAdd pushes ghost-slot contributions back to their owners, which
@@ -238,8 +239,11 @@ func ScatterAdd(p *sim.Proc, tag int, sch *Schedule, data []float64, width int, 
 		p.Advance(cost.PackUSPerElem * float64(len(vals)))
 		p.Send(q, "chaos.scatter", tag, vals, 8*len(vals))
 	}
-	for k := 0; k < expect; k++ {
-		from, payload := p.Recv("chaos.scatter", tag)
+	// Total-order drain: beyond the clock interleave, the additions into
+	// data happen in a fixed peer order (the apps' lattice arithmetic is
+	// exact so any order agrees bit-for-bit, but the harness should not
+	// depend on that).
+	p.RecvEach("chaos.scatter", tag, expect, func(from int, payload any) {
 		vals := payload.([]float64)
 		for i, li := range sch.SendTo[from] {
 			for d := 0; d < width; d++ {
@@ -247,5 +251,5 @@ func ScatterAdd(p *sim.Proc, tag int, sch *Schedule, data []float64, width int, 
 			}
 		}
 		p.Advance(cost.PackUSPerElem * float64(len(vals)))
-	}
+	})
 }

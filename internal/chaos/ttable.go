@@ -154,12 +154,12 @@ func (t *TransTable) LookupBatch(p *sim.Proc, globals []int) []Loc {
 			if t0+rtt > done {
 				done = t0 + rtt
 			}
-			msgs += 2
-			bytes += int64(reqB + respB + 2*cfg.MsgHeaderB)
+			msgs += cfg.Frags(reqB) + cfg.Frags(respB)
+			bytes += cfg.WireBytes(reqB) + cfg.WireBytes(respB)
 			_ = q
 		}
 		p.AdvanceTo(done)
-		p.Cluster().Stats.Count("chaos.ttable", msgs, bytes)
+		p.Cluster().Stats.CountP(p.ID(), "chaos.ttable", msgs, bytes)
 	}
 	return out
 }

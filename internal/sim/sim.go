@@ -7,10 +7,24 @@
 // the stand-in for that machine. Time is simulated, not measured:
 // processors advance their local clocks by calibrated costs (compute,
 // message latency, bandwidth, interrupt handling) and clocks are merged
-// with Lamport-style max rules at messages and barriers. Because all
-// merge operations are max/plus — commutative and associative — the final
-// simulated times are deterministic for barrier-synchronized programs
-// regardless of goroutine scheduling.
+// with Lamport-style max rules at messages and barriers.
+//
+// Determinism is a hard contract (DESIGN.md §7): every simulated time,
+// message count, and byte count is bit-identical run to run, regardless
+// of goroutine scheduling. Three mechanisms enforce it on top of the
+// max/plus clock algebra:
+//
+//  1. Every message carries a total-order key (sentAt, from, seq) and
+//     multi-sender mailboxes are drained in that order (RecvEach), not
+//     in Go channel-arrival order.
+//  2. Interrupt-service charges accumulate in per-caller shards and are
+//     summed in processor-id order at read time, so the non-associative
+//     float additions happen in a fixed order.
+//  3. Contended resources (the TreadMarks lock managers) are granted by
+//     a conservative arbiter that only decides at cluster quiescence —
+//     when every processor is blocked, the set of waiting requests is
+//     uniquely determined by the program, so picking the least
+//     (key, proc) waiter is reproducible.
 package sim
 
 import (
@@ -61,32 +75,33 @@ func DefaultConfig(procs int) Config {
 	}
 }
 
-// XferUS returns the time to move n payload bytes (plus header) across
-// one link, excluding latency.
-func (c *Config) XferUS(n int) float64 {
-	return float64(n+c.MsgHeaderB) / c.BytesPerUS
-}
-
-// Frags returns the number of wire messages an n-byte payload occupies:
-// transfers larger than MaxMsgB fragment (the fragments pipeline, so
-// only the message count — not the latency — is affected).
+// Frags returns the number of wire messages an n-byte payload occupies.
+// Each fragment carries its own MsgHeaderB-byte header, so the payload
+// capacity of one wire message is MaxMsgB - MsgHeaderB. (The fragments
+// pipeline, so latency is paid once; only the message and header counts
+// multiply.)
 func (c *Config) Frags(n int) int64 {
-	if c.MaxMsgB <= 0 {
+	if c.MaxMsgB <= 0 || c.MaxMsgB <= c.MsgHeaderB {
 		return 1
 	}
-	f := int64((n + c.MsgHeaderB + c.MaxMsgB - 1) / c.MaxMsgB)
+	payloadCap := c.MaxMsgB - c.MsgHeaderB
+	f := int64((n + payloadCap - 1) / payloadCap)
 	if f < 1 {
 		f = 1
 	}
 	return f
 }
 
-// Stats accumulates cluster-wide message traffic, broken down by
-// category. Categories are free-form strings chosen by the protocol
-// layers (e.g. "diff.req", "barrier", "chaos.gather").
-type Stats struct {
-	mu    sync.Mutex
-	byCat map[string]*CatStat
+// WireBytes returns the total bytes an n-byte payload occupies on the
+// wire: the payload plus one header per fragment.
+func (c *Config) WireBytes(n int) int64 {
+	return int64(n) + c.Frags(n)*int64(c.MsgHeaderB)
+}
+
+// XferUS returns the time to move n payload bytes (plus per-fragment
+// headers) across one link, excluding latency.
+func (c *Config) XferUS(n int) float64 {
+	return float64(c.WireBytes(n)) / c.BytesPerUS
 }
 
 // CatStat is the traffic within one category.
@@ -95,8 +110,16 @@ type CatStat struct {
 	Bytes    int64
 }
 
-// Count records msgs messages totalling bytes payload bytes in category cat.
-func (s *Stats) Count(cat string, msgs, bytes int64) {
+// statsShard is one processor's private counter map, padded to a full
+// 64-byte cache line so adjacent shards never false-share on the hot
+// Count path.
+type statsShard struct {
+	mu    sync.Mutex
+	byCat map[string]*CatStat
+	_     [64 - 16]byte // Mutex (8) + map header (8)
+}
+
+func (s *statsShard) count(cat string, msgs, bytes int64) {
 	s.mu.Lock()
 	cs := s.byCat[cat]
 	if cs == nil {
@@ -108,25 +131,85 @@ func (s *Stats) Count(cat string, msgs, bytes int64) {
 	s.mu.Unlock()
 }
 
+// Stats accumulates cluster-wide message traffic, broken down by
+// category. Categories are free-form strings chosen by the protocol
+// layers (e.g. "diff.req", "barrier", "chaos.gather").
+//
+// Counts are sharded per processor (CountP) and merged at read time, so
+// the per-message hot path never touches a shared mutex; Count without a
+// processor id falls back to a global shard. Counters are integers, so
+// the merge is order-independent and deterministic.
+type Stats struct {
+	global statsShard
+	shards []statsShard
+}
+
+// NewStats returns a Stats with procs per-processor shards (the cluster
+// does this itself; the constructor exists for benchmarks and tests).
+func NewStats(procs int) *Stats {
+	s := &Stats{}
+	s.init(procs)
+	return s
+}
+
+func (s *Stats) init(procs int) {
+	s.global.byCat = map[string]*CatStat{}
+	s.shards = make([]statsShard, procs)
+	for i := range s.shards {
+		s.shards[i].byCat = map[string]*CatStat{}
+	}
+}
+
+// Count records msgs messages totalling bytes payload bytes in category
+// cat on the global shard. Prefer CountP on per-processor paths.
+func (s *Stats) Count(cat string, msgs, bytes int64) {
+	s.global.count(cat, msgs, bytes)
+}
+
+// CountP records traffic attributed to processor proc's shard. It is the
+// per-message hot path: shards are uncontended in steady state because a
+// processor's traffic is counted by its own goroutine.
+func (s *Stats) CountP(proc int, cat string, msgs, bytes int64) {
+	if proc >= 0 && proc < len(s.shards) {
+		s.shards[proc].count(cat, msgs, bytes)
+		return
+	}
+	s.global.count(cat, msgs, bytes)
+}
+
+func (s *Stats) forEachShard(f func(sh *statsShard)) {
+	f(&s.global)
+	for i := range s.shards {
+		f(&s.shards[i])
+	}
+}
+
 // Totals returns the total messages and bytes across all categories.
 func (s *Stats) Totals() (msgs, bytes int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, cs := range s.byCat {
-		msgs += cs.Messages
-		bytes += cs.Bytes
-	}
+	s.forEachShard(func(sh *statsShard) {
+		sh.mu.Lock()
+		for _, cs := range sh.byCat {
+			msgs += cs.Messages
+			bytes += cs.Bytes
+		}
+		sh.mu.Unlock()
+	})
 	return
 }
 
-// Categories returns a sorted snapshot of per-category traffic.
+// Categories returns a merged snapshot of per-category traffic.
 func (s *Stats) Categories() map[string]CatStat {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]CatStat, len(s.byCat))
-	for k, v := range s.byCat {
-		out[k] = *v
-	}
+	out := map[string]CatStat{}
+	s.forEachShard(func(sh *statsShard) {
+		sh.mu.Lock()
+		for k, v := range sh.byCat {
+			cs := out[k]
+			cs.Messages += v.Messages
+			cs.Bytes += v.Bytes
+			out[k] = cs
+		}
+		sh.mu.Unlock()
+	})
 	return out
 }
 
@@ -147,9 +230,11 @@ func (s *Stats) String() string {
 
 // Reset clears all counters.
 func (s *Stats) Reset() {
-	s.mu.Lock()
-	s.byCat = map[string]*CatStat{}
-	s.mu.Unlock()
+	s.forEachShard(func(sh *statsShard) {
+		sh.mu.Lock()
+		sh.byCat = map[string]*CatStat{}
+		sh.mu.Unlock()
+	})
 }
 
 // Handler services one request on the target processor. It is invoked
@@ -166,8 +251,13 @@ type Cluster struct {
 	procs []*Proc
 	Stats Stats
 
-	barMu    sync.Mutex
-	barriers map[int]*barrier
+	// schedMu guards every blocking structure — mailboxes, barriers,
+	// resources — plus the runnable-processor count, so blocked/runnable
+	// transitions and quiescence detection are atomic.
+	schedMu   sync.Mutex
+	active    int // processors currently runnable inside Run
+	barriers  map[int]*barrier
+	resources map[int]*resource
 }
 
 // NewCluster builds a cluster with cfg.Procs processors.
@@ -175,11 +265,16 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Procs <= 0 {
 		panic("sim: cluster needs at least one processor")
 	}
-	c := &Cluster{cfg: cfg, barriers: map[int]*barrier{}}
-	c.Stats.Reset()
+	c := &Cluster{cfg: cfg, barriers: map[int]*barrier{}, resources: map[int]*resource{}}
+	c.Stats.init(cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
-		p := &Proc{id: i, c: c, handlers: map[string]Handler{}}
-		p.mailboxes = map[string]chan envelope{}
+		p := &Proc{
+			id:       i,
+			c:        c,
+			intrBy:   make([]float64, cfg.Procs),
+			handlers: map[string]Handler{},
+		}
+		p.mailboxes = map[mailboxKey]*mailbox{}
 		c.procs = append(c.procs, p)
 	}
 	return c
@@ -197,11 +292,25 @@ func (c *Cluster) Proc(i int) *Proc { return c.procs[i] }
 // Run executes body once per processor, each on its own goroutine, and
 // waits for all of them to return. This is the SPMD entry point.
 func (c *Cluster) Run(body func(p *Proc)) {
+	c.schedMu.Lock()
+	for _, p := range c.procs {
+		p.running = true
+	}
+	c.active += len(c.procs)
+	c.schedMu.Unlock()
+
 	var wg sync.WaitGroup
 	for _, p := range c.procs {
 		wg.Add(1)
 		go func(p *Proc) {
-			defer wg.Done()
+			defer func() {
+				c.schedMu.Lock()
+				p.running = false
+				c.active--
+				c.grantQuiescentLocked()
+				c.schedMu.Unlock()
+				wg.Done()
+			}()
 			body(p)
 		}(p)
 	}
@@ -227,8 +336,32 @@ func (c *Cluster) ResetClocks() {
 		p.mu.Lock()
 		p.clock = 0
 		p.busyUS = 0
-		p.intrUS = 0
+		for i := range p.intrBy {
+			p.intrBy[i] = 0
+		}
 		p.mu.Unlock()
+	}
+}
+
+// blockLocked marks the calling processor blocked for quiescence
+// accounting and reports whether it was counted (goroutines outside
+// Cluster.Run are never counted). schedMu must be held.
+func (c *Cluster) blockLocked(p *Proc) bool {
+	if p == nil || !p.running {
+		return false
+	}
+	c.active--
+	c.grantQuiescentLocked()
+	return true
+}
+
+// unblockLocked reverses a counted blockLocked. The waker calls it at
+// signal time — before the blocked goroutine actually resumes — so the
+// runnable count never under-reports and quiescence is never declared
+// while a wake-up is in flight. schedMu must be held.
+func (c *Cluster) unblockLocked(counted bool) {
+	if counted {
+		c.active++
 	}
 }
 
@@ -240,23 +373,63 @@ type Proc struct {
 	id int
 	c  *Cluster
 
-	mu     sync.Mutex // protects clock, busyUS and intrUS
+	mu     sync.Mutex // protects clock, busyUS and intrBy
 	clock  float64    // simulated local time, us
 	busyUS float64    // time spent in local compute (for utilization reporting)
-	intrUS float64    // accumulated interrupt-service time (see chargeInterrupt)
+	// intrBy[q] is the interrupt-service time charged by calls from
+	// processor q. A single caller issues its calls in program order, so
+	// each shard's accumulation order is deterministic; Time sums the
+	// shards in id order, fixing the order of the non-associative float
+	// additions across callers.
+	intrBy []float64
 
 	hmu      sync.RWMutex
 	handlers map[string]Handler
 
-	mbMu      sync.Mutex
-	mailboxes map[string]chan envelope
+	mailboxes map[mailboxKey]*mailbox // guarded by c.schedMu
+	sendSeq   int64                   // owner-goroutine only: per-sender message sequence
+	running   bool                    // guarded by c.schedMu: inside Cluster.Run
 }
 
+// envelope is one in-flight message. (sentAt, from, seq) is its total
+// order key: primary by simulated send time, ties broken by sender id,
+// then by the sender's per-message sequence number (two sends by one
+// sender always have increasing seq).
 type envelope struct {
 	from    int
+	seq     int64
 	sentAt  float64
 	payload any
 	bytes   int
+}
+
+// before reports whether e precedes o in the mailbox total order.
+func (e envelope) before(o envelope) bool {
+	if e.sentAt != o.sentAt {
+		return e.sentAt < o.sentAt
+	}
+	if e.from != o.from {
+		return e.from < o.from
+	}
+	return e.seq < o.seq
+}
+
+// mailboxKey identifies a mailbox without allocating a composite
+// string; lookups happen inside the schedMu critical section on every
+// send and receive, so they must stay cheap.
+type mailboxKey struct {
+	kind string
+	tag  int
+}
+
+// mailbox is the per-(kind, tag) receive queue. Pending messages are
+// kept unsorted (arrival order) and sorted by the total-order key at
+// drain time.
+type mailbox struct {
+	cond        *sync.Cond // on Cluster.schedMu
+	msgs        []envelope
+	waiting     bool // the owning processor is blocked on this mailbox
+	waitCounted bool // ... and was counted in Cluster.active
 }
 
 // ID returns the processor id in [0, NProcs).
@@ -310,16 +483,19 @@ func (p *Proc) advanceTo(t float64) {
 }
 
 // chargeInterrupt records the cost of being interrupted to service a
-// remote request. The charge accumulates in a side counter rather than
-// the clock itself: folding it into the clock mid-run would make the
-// target's barrier-arrival times depend on the real-time interleaving of
-// handler execution, destroying determinism. Instead the aggregate is
-// added to the processor's final time (Time, Cluster.MaxTime). This
+// remote request from processor `from`. The charge accumulates in a
+// per-caller side counter rather than the clock itself: folding it into
+// the clock mid-run would make the target's barrier-arrival times depend
+// on the real-time interleaving of handler execution, destroying
+// determinism, and even a single side counter would sum the charges in
+// arrival order (float addition is not associative). Instead the
+// aggregate is added to the processor's final time (Time,
+// Cluster.MaxTime) by summing the per-caller shards in id order. This
 // uniformly under-weights queueing effects for all systems compared,
 // which preserves the relative shapes the reproduction targets.
-func (p *Proc) chargeInterrupt(us float64) {
+func (p *Proc) chargeInterrupt(from int, us float64) {
 	p.mu.Lock()
-	p.intrUS += us
+	p.intrBy[from] += us
 	p.mu.Unlock()
 }
 
@@ -327,7 +503,15 @@ func (p *Proc) chargeInterrupt(us float64) {
 func (p *Proc) InterruptUS() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.intrUS
+	return p.intrLocked()
+}
+
+func (p *Proc) intrLocked() float64 {
+	s := 0.0
+	for _, v := range p.intrBy {
+		s += v
+	}
+	return s
 }
 
 // Time returns the processor's total simulated time including the
@@ -335,7 +519,7 @@ func (p *Proc) InterruptUS() float64 {
 func (p *Proc) Time() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.clock + p.intrUS
+	return p.clock + p.intrLocked()
 }
 
 // RegisterHandler installs the service routine for request kind. The
@@ -384,15 +568,15 @@ func (p *Proc) CallMulti(specs []CallSpec) []any {
 			panic(fmt.Sprintf("sim: proc %d has no handler for %q", s.Target, s.Kind))
 		}
 		resp, respBytes, handlerUS := h(p.id, s.Req)
-		tgt.chargeInterrupt(cfg.InterruptUS + handlerUS)
+		tgt.chargeInterrupt(p.id, cfg.InterruptUS+handlerUS)
 		rtt := cfg.LatencyUS + cfg.XferUS(s.ReqBytes) + // request
 			handlerUS +
 			cfg.LatencyUS + cfg.XferUS(respBytes) // response
 		if t0+rtt > done {
 			done = t0 + rtt
 		}
-		p.c.Stats.Count(s.Kind, cfg.Frags(s.ReqBytes)+cfg.Frags(respBytes),
-			int64(s.ReqBytes+respBytes+2*cfg.MsgHeaderB))
+		p.c.Stats.CountP(p.id, s.Kind, cfg.Frags(s.ReqBytes)+cfg.Frags(respBytes),
+			cfg.WireBytes(s.ReqBytes)+cfg.WireBytes(respBytes))
 		resps[i] = resp
 	}
 	p.advanceTo(done)
@@ -404,7 +588,8 @@ func (p *Proc) CallMulti(specs []CallSpec) []any {
 // separates communication phases so a fast peer's next-phase message is
 // never consumed by the current phase; traffic is counted under kind
 // alone. The sender's clock is charged only the injection overhead; the
-// receiver pays latency + transfer when it Recvs.
+// receiver pays latency + transfer when it Recvs. Send must be called by
+// the processor's own goroutine.
 func (p *Proc) Send(target int, kind string, tag int, payload any, bytes int) {
 	cfg := &p.c.cfg
 	if target == p.id {
@@ -413,30 +598,215 @@ func (p *Proc) Send(target int, kind string, tag int, payload any, bytes int) {
 	sentAt := p.Clock()
 	// Injection software overhead on the sender.
 	p.Advance(cfg.XferUS(bytes) / 2)
-	tgt := p.c.procs[target]
-	tgt.mailbox(kind, tag) <- envelope{from: p.id, sentAt: sentAt, payload: payload, bytes: bytes}
-	p.c.Stats.Count(kind, cfg.Frags(bytes), int64(bytes+cfg.MsgHeaderB))
+	p.sendSeq++
+	env := envelope{from: p.id, seq: p.sendSeq, sentAt: sentAt, payload: payload, bytes: bytes}
+
+	c := p.c
+	tgt := c.procs[target]
+	c.schedMu.Lock()
+	mb := tgt.mailboxLocked(kind, tag)
+	mb.msgs = append(mb.msgs, env)
+	if mb.waiting {
+		mb.waiting = false
+		c.unblockLocked(mb.waitCounted)
+		mb.waitCounted = false
+		mb.cond.Broadcast()
+	}
+	c.schedMu.Unlock()
+
+	c.Stats.CountP(p.id, kind, cfg.Frags(bytes), cfg.WireBytes(bytes))
 }
 
 // Recv blocks until a message of the given kind and tag arrives, merges
 // the sender's causal time into the local clock, and returns the payload.
+// When a phase has several senders into the same (kind, tag), use
+// RecvEach instead: a lone Recv takes the least-keyed message *present*,
+// which is only deterministic when at most one message is outstanding.
 func (p *Proc) Recv(kind string, tag int) (from int, payload any) {
 	cfg := &p.c.cfg
-	env := <-p.mailbox(kind, tag)
+	env := p.drain(kind, tag, 1)[0]
 	p.advanceTo(env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes))
 	return env.from, env.payload
 }
 
-func (p *Proc) mailbox(kind string, tag int) chan envelope {
-	key := fmt.Sprintf("%s#%d", kind, tag)
-	p.mbMu.Lock()
-	defer p.mbMu.Unlock()
+// RecvEach blocks until n messages of the given kind and tag have
+// arrived, then processes them in the total order (sentAt, from, seq) —
+// not in arrival order: for each message the sender's causal time is
+// merged into the local clock and fn (if non-nil) is invoked. fn may
+// charge per-message unpack costs with Advance; because the drain order
+// is the total order, the resulting max/plus interleave is identical
+// every run. This is the collective receive the CHAOS executor and the
+// schedule exchange use.
+//
+// n must cover every message the phase's senders put into (kind, tag):
+// a partial drain selects the n least-keyed messages *present*, which
+// depends on real arrival order and would break determinism exactly
+// like a lone Recv with several outstanding senders.
+func (p *Proc) RecvEach(kind string, tag int, n int, fn func(from int, payload any)) {
+	if n <= 0 {
+		return
+	}
+	cfg := &p.c.cfg
+	for _, env := range p.drain(kind, tag, n) {
+		p.advanceTo(env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes))
+		if fn != nil {
+			fn(env.from, env.payload)
+		}
+	}
+}
+
+// drain removes and returns the n least-keyed messages of (kind, tag),
+// blocking until at least n are present.
+func (p *Proc) drain(kind string, tag int, n int) []envelope {
+	c := p.c
+	c.schedMu.Lock()
+	mb := p.mailboxLocked(kind, tag)
+	for len(mb.msgs) < n {
+		mb.waiting = true
+		mb.waitCounted = c.blockLocked(p)
+		mb.cond.Wait()
+	}
+	sort.Slice(mb.msgs, func(i, j int) bool { return mb.msgs[i].before(mb.msgs[j]) })
+	out := make([]envelope, n)
+	copy(out, mb.msgs[:n])
+	rest := append([]envelope(nil), mb.msgs[n:]...)
+	mb.msgs = rest
+	c.schedMu.Unlock()
+	return out
+}
+
+// mailboxLocked returns the mailbox for (kind, tag), creating it if
+// needed. schedMu must be held.
+func (p *Proc) mailboxLocked(kind string, tag int) *mailbox {
+	key := mailboxKey{kind: kind, tag: tag}
 	mb := p.mailboxes[key]
 	if mb == nil {
-		mb = make(chan envelope, 4*len(p.c.procs))
+		mb = &mailbox{cond: sync.NewCond(&p.c.schedMu)}
 		p.mailboxes[key] = mb
 	}
 	return mb
+}
+
+// resource is one deterministically arbitrated exclusive resource (the
+// TreadMarks lock managers are built on it). lastVal is an opaque value
+// the releaser leaves for the next grantee — the protocol layer stores
+// the simulated time the resource became free.
+type resource struct {
+	cond    *sync.Cond // on Cluster.schedMu
+	held    bool
+	lastVal float64
+	waiters []*resWaiter
+}
+
+type resWaiter struct {
+	key      float64
+	proc     int
+	counted  bool
+	granted  bool
+	grantVal float64
+	onGrant  func()
+}
+
+func (c *Cluster) resourceLocked(id int) *resource {
+	r := c.resources[id]
+	if r == nil {
+		r = &resource{cond: sync.NewCond(&c.schedMu)}
+		c.resources[id] = r
+	}
+	return r
+}
+
+// AcquireResource blocks until the cluster's deterministic arbiter
+// grants resource res to this processor, and returns the value the
+// previous holder passed to ReleaseResource (zero if never held).
+//
+// key is the request's simulated arrival time at the manager; grants go
+// to the least (key, proc) waiter. The arbiter decides only at cluster
+// quiescence — when every processor inside Run is blocked (in a receive,
+// a barrier, a resource acquire, or finished). At that instant no new
+// request can appear until a grant wakes someone, and the waiting set
+// itself is uniquely determined by the program (each processor ran
+// deterministically until it blocked), so the chosen grantee — and hence
+// every downstream simulated time — is identical run to run.
+//
+// onGrant, if non-nil, runs at the grant instant under the scheduler
+// lock. Because the cluster is quiescent there, any shared protocol
+// state it reads (e.g. the write-notice board) has deterministic
+// content; this is the "conservative snapshot" hook the TreadMarks lock
+// grant uses to pick up the notices the acquirer lacks. onGrant must not
+// call back into blocking simulator operations.
+func (p *Proc) AcquireResource(res int, key float64, onGrant func()) float64 {
+	c := p.c
+	c.schedMu.Lock()
+	r := c.resourceLocked(res)
+	// counted must be decided before the arbiter can see the waiter: the
+	// quiescence check below may grant this very request and re-increment
+	// the runnable count based on it.
+	w := &resWaiter{key: key, proc: p.id, onGrant: onGrant, counted: p.running}
+	r.waiters = append(r.waiters, w)
+	if w.counted {
+		c.active--
+	}
+	c.grantQuiescentLocked()
+	for !w.granted {
+		r.cond.Wait()
+	}
+	val := w.grantVal
+	c.schedMu.Unlock()
+	return val
+}
+
+// ReleaseResource marks res free and records val for the next grantee.
+// The grant itself happens at the next quiescent instant.
+func (p *Proc) ReleaseResource(res int, val float64) {
+	c := p.c
+	c.schedMu.Lock()
+	r := c.resourceLocked(res)
+	if !r.held {
+		c.schedMu.Unlock()
+		panic(fmt.Sprintf("sim: release of resource %d that is not held", res))
+	}
+	r.held = false
+	r.lastVal = val
+	c.grantQuiescentLocked()
+	c.schedMu.Unlock()
+}
+
+// grantQuiescentLocked performs the deterministic arbitration: at
+// cluster quiescence, every free resource with waiters is granted to its
+// least (key, proc) waiter. schedMu must be held.
+func (c *Cluster) grantQuiescentLocked() {
+	if c.active != 0 || len(c.resources) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(c.resources))
+	for id := range c.resources {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := c.resources[id]
+		if r.held || len(r.waiters) == 0 {
+			continue
+		}
+		best := 0
+		for i, w := range r.waiters {
+			b := r.waiters[best]
+			if w.key < b.key || (w.key == b.key && w.proc < b.proc) {
+				best = i
+			}
+		}
+		w := r.waiters[best]
+		r.waiters = append(r.waiters[:best], r.waiters[best+1:]...)
+		r.held = true
+		w.granted = true
+		w.grantVal = r.lastVal
+		if w.onGrant != nil {
+			w.onGrant()
+		}
+		c.unblockLocked(w.counted)
+		r.cond.Broadcast()
+	}
 }
 
 // CombineFunc merges the per-processor barrier contributions (indexed by
@@ -446,26 +816,24 @@ func (p *Proc) mailbox(kind string, tag int) chan envelope {
 type CombineFunc func(contrib []any) (replies []any, replyBytes []int, combineUS float64)
 
 type barrier struct {
-	mu          sync.Mutex
-	cond        *sync.Cond
-	gen         int64
-	waiting     int
-	contrib     []any
-	cbytes      []int
-	arrive      []float64
-	replies     []any
-	rbytesStash []int
-	release     float64
+	cond           *sync.Cond // on Cluster.schedMu
+	gen            int64
+	waiting        int
+	blockedRunners int
+	contrib        []any
+	cbytes         []int
+	arrive         []float64
+	replies        []any
+	rbytesStash    []int
+	release        float64
 }
 
-func (c *Cluster) barrierFor(id int) *barrier {
-	c.barMu.Lock()
-	defer c.barMu.Unlock()
+func (c *Cluster) barrierLocked(id int) *barrier {
 	b := c.barriers[id]
 	if b == nil {
 		n := len(c.procs)
 		b = &barrier{contrib: make([]any, n), cbytes: make([]int, n), arrive: make([]float64, n)}
-		b.cond = sync.NewCond(&b.mu)
+		b.cond = sync.NewCond(&c.schedMu)
 		c.barriers[id] = b
 	}
 	return b
@@ -483,6 +851,11 @@ func (p *Proc) Barrier(id int) {
 // then receives one release message carrying its reply. Message count is
 // 2*(N-1) per episode plus payload bytes, charged to category "barrier".
 // The returned value is this processor's reply (nil if combine is nil).
+//
+// Barrier arrivals are inherently order-insensitive: the release time is
+// a max over the arrival array and combine sees contributions indexed by
+// processor id, so the episode is deterministic no matter which
+// goroutine arrives last.
 func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc) any {
 	cfg := &p.c.cfg
 	n := len(p.c.procs)
@@ -496,16 +869,17 @@ func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc)
 		}
 		return nil
 	}
-	b := p.c.barrierFor(id)
 
 	arriveAt := p.Clock()
 	if p.id != 0 {
 		// Arrival message to the manager.
 		arriveAt += cfg.LatencyUS + cfg.XferUS(bytes)
-		p.c.Stats.Count("barrier", cfg.Frags(bytes), int64(bytes+cfg.MsgHeaderB))
+		p.c.Stats.CountP(p.id, "barrier", cfg.Frags(bytes), cfg.WireBytes(bytes))
 	}
 
-	b.mu.Lock()
+	c := p.c
+	c.schedMu.Lock()
+	b := c.barrierLocked(id)
 	gen := b.gen
 	b.contrib[p.id] = data
 	b.cbytes[p.id] = bytes
@@ -536,13 +910,18 @@ func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc)
 			if rbytes != nil {
 				rb = rbytes[i]
 			}
-			p.c.Stats.Count("barrier", cfg.Frags(rb), int64(rb+cfg.MsgHeaderB))
+			p.c.Stats.CountP(p.id, "barrier", cfg.Frags(rb), cfg.WireBytes(rb))
 		}
 		b.rbytesStash = rbytes
 		b.waiting = 0
 		b.gen++
+		c.active += b.blockedRunners
+		b.blockedRunners = 0
 		b.cond.Broadcast()
 	} else {
+		if c.blockLocked(p) {
+			b.blockedRunners++
+		}
 		for gen == b.gen {
 			b.cond.Wait()
 		}
@@ -556,7 +935,7 @@ func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc)
 	if b.rbytesStash != nil {
 		rb = b.rbytesStash[p.id]
 	}
-	b.mu.Unlock()
+	c.schedMu.Unlock()
 
 	depart := release
 	if p.id != 0 {

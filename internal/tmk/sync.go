@@ -159,61 +159,43 @@ func (b *noticeBoard) missingForLocked(seen []int32, self int) ([]*Notice, int) 
 	return out, bytes
 }
 
-// lockServer is the manager state for one lock.
-type lockServer struct {
-	mu          sync.Mutex
-	held        bool
-	lastRelease float64 // simulated time the lock last became free
-	queue       []chan float64
-}
-
-func (d *DSM) lockServer(id int) *lockServer {
-	// Lazily grown; callers use small dense lock ids. Guarded: nodes on
-	// different processors may acquire locks concurrently.
-	d.lockMu.Lock()
-	defer d.lockMu.Unlock()
-	for len(d.locks) <= id {
-		d.locks = append(d.locks, &lockServer{})
-	}
-	return d.locks[id]
-}
-
 // AcquireLock acquires lock id: a request message to the manager
 // (statically id mod nprocs) and a grant message back, the grant
 // carrying the write notices the acquirer lacks. Blocks while another
 // processor holds the lock.
+//
+// Grant order is decided by the simulator's deterministic arbiter
+// (sim.Proc.AcquireResource): requests are ordered by their simulated
+// arrival time at the manager, ties by processor id, and the decision is
+// taken only at cluster quiescence, so the grant chain — and with it
+// every hold time and final simulated time — is identical run to run.
+// The notice-board snapshot the grant carries is taken at the grant
+// instant (the onGrant hook), when no other processor is mutating the
+// board.
 func (n *Node) AcquireLock(id int) {
 	n.ensureSeen()
 	cfg := n.proc.Config()
 	d := n.d
-	ls := d.lockServer(id)
 
 	reqArrive := n.proc.Clock() + cfg.LatencyUS
-	var grantFree float64
-	ls.mu.Lock()
-	if !ls.held {
-		ls.held = true
-		grantFree = ls.lastRelease
-		ls.mu.Unlock()
-	} else {
-		ch := make(chan float64, 1)
-		ls.queue = append(ls.queue, ch)
-		ls.mu.Unlock()
-		grantFree = <-ch
-	}
+	var nts []*Notice
+	var bytes int
+	grantFree := n.proc.AcquireResource(id, reqArrive, func() {
+		// The grant carries the missing notices.
+		board := d.board
+		board.mu.Lock()
+		nts, bytes = board.missingForLocked(n.seen, n.proc.ID())
+		board.mu.Unlock()
+	})
 	grantAt := reqArrive
 	if grantFree > grantAt {
 		grantAt = grantFree
 	}
 	grantAt += cfg.InterruptUS // manager handling
 
-	// The grant carries the missing notices.
-	board := d.board
-	board.mu.Lock()
-	nts, bytes := board.missingForLocked(n.seen, n.proc.ID())
-	board.mu.Unlock()
-
-	d.cluster.Stats.Count("tmk.lock", 2, int64(bytes+4*len(n.seen)+2*cfg.MsgHeaderB))
+	reqB := 4 * len(n.seen) // request carries the per-writer watermark
+	d.cluster.Stats.CountP(n.proc.ID(), "tmk.lock",
+		cfg.Frags(reqB)+cfg.Frags(bytes), cfg.WireBytes(reqB)+cfg.WireBytes(bytes))
 	n.proc.AdvanceTo(grantAt + cfg.LatencyUS + cfg.XferUS(bytes))
 
 	n.applyNotices(nts)
@@ -249,19 +231,7 @@ func (n *Node) ReleaseLock(id int) {
 	n.seen[n.proc.ID()] = n.vc[n.proc.ID()]
 	n.newNotices = nil
 
-	d.cluster.Stats.Count("tmk.lock", 1, int64(bytes+cfg.MsgHeaderB))
+	d.cluster.Stats.CountP(n.proc.ID(), "tmk.lock", cfg.Frags(bytes), cfg.WireBytes(bytes))
 	freeAt := n.proc.Clock() + cfg.LatencyUS
-
-	ls := d.lockServer(id)
-	ls.mu.Lock()
-	ls.lastRelease = freeAt
-	if len(ls.queue) > 0 {
-		ch := ls.queue[0]
-		ls.queue = ls.queue[1:]
-		ls.mu.Unlock()
-		ch <- freeAt
-	} else {
-		ls.held = false
-		ls.mu.Unlock()
-	}
+	n.proc.ReleaseResource(id, freeAt)
 }

@@ -14,6 +14,7 @@ package tmk
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/diff"
@@ -31,9 +32,7 @@ type DSM struct {
 	arena   *vm.Arena
 	nodes   []*Node
 
-	board  *noticeBoard
-	lockMu sync.Mutex // guards locks (lazily grown under concurrency)
-	locks  []*lockServer
+	board *noticeBoard
 
 	// GCThresholdBytes bounds the consistency data (stored diffs) the
 	// cluster retains. When the total crosses the threshold, the next
@@ -308,11 +307,19 @@ func (n *Node) closeInterval() {
 	n.vc[me]++
 	nt := &Notice{Proc: me, Interval: n.vc[me], VC: n.vc.Clone()}
 	// Byte counts accumulate as integers and convert to time once, so
-	// the result is independent of map iteration order (floating-point
-	// addition is not associative).
+	// the result is independent of iteration order (floating-point
+	// addition is not associative). The dirty set is still drained in
+	// sorted page order so the notice's page list — and everything that
+	// flows from it — has one canonical layout.
+	dirtyPages := make([]vm.PageID, 0, len(n.dirty))
+	for page := range n.dirty {
+		dirtyPages = append(dirtyPages, page)
+	}
+	sort.Slice(dirtyPages, func(i, j int) bool { return dirtyPages[i] < dirtyPages[j] })
 	var snapBytes, scanBytes int
 	n.mu.Lock()
-	for page, dp := range n.dirty {
+	for _, page := range dirtyPages {
+		dp := n.dirty[page]
 		pg := n.space.Page(page)
 		var d diff.Diff
 		full := false
@@ -455,8 +462,17 @@ func (n *Node) FetchPages(pages []vm.PageID, kind string) {
 		}
 	}
 	if len(perWriter) > 0 {
-		specs := make([]sim.CallSpec, 0, len(perWriter))
-		for w, reqs := range perWriter {
+		// One spec per writer, in writer-id order (map iteration order
+		// would still be correct — responses are keyed by page — but a
+		// canonical order keeps the exchange reproducible to a reader).
+		writers := make([]int, 0, len(perWriter))
+		for w := range perWriter {
+			writers = append(writers, w)
+		}
+		sort.Ints(writers)
+		specs := make([]sim.CallSpec, 0, len(writers))
+		for _, w := range writers {
+			reqs := perWriter[w]
 			specs = append(specs, sim.CallSpec{
 				Target:   w,
 				Kind:     kind,
@@ -479,8 +495,7 @@ func (n *Node) FetchPages(pages []vm.PageID, kind string) {
 			pg := n.space.Page(page)
 			// A whole-page snapshot (WRITE_ALL) supersedes every diff
 			// its writer had already applied; pick the causally latest
-			// (ties broken by writer id and interval for determinism —
-			// responses arrive in map-iteration order).
+			// (ties broken by writer id and interval).
 			sortDiffsCausal(ds)
 			var snap *WireDiff
 			for i := range ds {

@@ -404,6 +404,38 @@ func TestNoticeWireBytes(t *testing.T) {
 	}
 }
 
+func TestLockContentionDeterministicTimes(t *testing.T) {
+	// Heavy lock contention was the classic wobble source: grant order
+	// used to follow real-time queue arrival. The deterministic arbiter
+	// orders grants by (simulated request time, proc), so the full grant
+	// chain — and the final simulated times — must be bit-identical, with
+	// no tolerance band.
+	run := func() (float64, int64, int64) {
+		const np = 6
+		d, addr := harness(t, np, 8)
+		d.Cluster().Run(func(p *sim.Proc) {
+			n := d.Node(p.ID())
+			for i := 0; i < 4; i++ {
+				n.AcquireLock(2)
+				v := n.Space().ReadF64(addr)
+				n.Space().WriteF64(addr, v+1)
+				n.ReleaseLock(2)
+			}
+			n.Barrier(1)
+		})
+		m, b := d.Cluster().Stats.Totals()
+		return d.Cluster().MaxTime(), m, b
+	}
+	t1, m1, b1 := run()
+	for i := 0; i < 4; i++ {
+		t2, m2, b2 := run()
+		if t1 != t2 || m1 != m2 || b1 != b2 {
+			t.Fatalf("lock contention nondeterministic: (%v,%d,%d) vs (%v,%d,%d)",
+				t1, m1, b1, t2, m2, b2)
+		}
+	}
+}
+
 func TestDeterministicSimTimes(t *testing.T) {
 	// The same program must produce identical simulated times and
 	// traffic across runs.
