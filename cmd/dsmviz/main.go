@@ -4,7 +4,10 @@
 // observability tool for understanding where a configuration's time and
 // traffic go. Any application registered in internal/apps works.
 //
-//	go run ./cmd/dsmviz [-app moldyn|nbf|unstruct|spmv] [-n 1024] [-procs 8]
+//	go run ./cmd/dsmviz [-app moldyn|nbf|unstruct|spmv|tsp|taskq] [-n 1024] [-procs 8]
+//
+// Note -n is app-relative: elements for the barrier apps, cities for
+// tsp (max 16), items for taskq — e.g. `-app tsp -n 10`.
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	_ "repro/internal/apps/moldyn"
 	_ "repro/internal/apps/nbf"
 	_ "repro/internal/apps/spmv"
+	_ "repro/internal/apps/taskq"
+	_ "repro/internal/apps/tsp"
 	_ "repro/internal/apps/unstruct"
 )
 

@@ -14,11 +14,44 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/apps"
 	"repro/internal/bench"
 )
+
+// params names one full table1 rendering; the CI-size instance is
+// golden-diffed in main_test.go.
+type params struct {
+	n, procs, steps int
+	detail          bool
+}
+
+func run(w io.Writer, p params) error {
+	cfg := apps.Config{N: p.n, Procs: p.procs, Steps: p.steps}
+	tbl, all, err := bench.Table1(cfg, []int{20, 15, 11})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	if p.detail {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, tbl.DetailString())
+	}
+	// The in-text claims (§5.1).
+	fmt.Fprintln(w)
+	for _, r := range all {
+		fmt.Fprintf(w, "%-36s inspector %.2f s/proc, Validate scan %.2f s, opt vs CHAOS %+.0f%%, opt vs base %+.0f%%\n",
+			r.Config,
+			r.Chaos.Detail["inspector_s"],
+			r.Opt.Detail["scan_s"],
+			100*(r.Chaos.TimeSec-r.Opt.TimeSec)/r.Chaos.TimeSec,
+			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
+	}
+	return nil
+}
 
 func main() {
 	n := flag.Int("n", 4096, "number of molecules")
@@ -27,26 +60,8 @@ func main() {
 	detail := flag.Bool("detail", false, "print per-row details (inspector/scan seconds, per-category traffic)")
 	flag.Parse()
 
-	cfg := apps.Config{N: *n, Procs: *procs, Steps: *steps}
-	tbl, all, err := bench.Table1(cfg, []int{20, 15, 11})
-	if err != nil {
+	if err := run(os.Stdout, params{n: *n, procs: *procs, steps: *steps, detail: *detail}); err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)
-	}
-	fmt.Print(tbl.String())
-	fmt.Println("\nAll parallel backends verified bit-identical to the sequential program.")
-	if *detail {
-		fmt.Println()
-		fmt.Print(tbl.DetailString())
-	}
-	// The in-text claims (§5.1).
-	fmt.Println()
-	for _, r := range all {
-		fmt.Printf("%-36s inspector %.2f s/proc, Validate scan %.2f s, opt vs CHAOS %+.0f%%, opt vs base %+.0f%%\n",
-			r.Config,
-			r.Chaos.Detail["inspector_s"],
-			r.Opt.Detail["scan_s"],
-			100*(r.Chaos.TimeSec-r.Opt.TimeSec)/r.Chaos.TimeSec,
-			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
 	}
 }

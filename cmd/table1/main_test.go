@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"testing"
+
+	"repro/internal/golden"
+	"repro/internal/raceflag"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden fixture")
+
+// ciParams is the CI-size rendering, matching the determinism leg's
+// `table1 -n 512 -steps 10`.
+var ciParams = params{n: 512, procs: 8, steps: 10}
+
+func TestGolden(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("golden render skipped under -race (see internal/raceflag)")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, ciParams); err != nil {
+		t.Fatal(err)
+	}
+	golden.Check(t, buf.Bytes(), "testdata/table1.golden", *update)
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"testing"
+
+	"repro/internal/golden"
+	"repro/internal/raceflag"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden fixture")
+
+// ciParams is the CI-size rendering, matching the determinism leg's
+// `table2 -scale 2 -steps 4 -partners 40`.
+var ciParams = params{scale: 2, procs: 8, steps: 4, partners: 40}
+
+func TestGolden(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("golden render skipped under -race (see internal/raceflag)")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, ciParams); err != nil {
+		t.Fatal(err)
+	}
+	golden.Check(t, buf.Bytes(), "testdata/table2.golden", *update)
+}

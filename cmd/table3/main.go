@@ -1,10 +1,11 @@
-// Command table3 extends the paper's evaluation to the spmv workload
-// (internal/apps/spmv): an iterative sparse matrix-vector product whose
-// column-index array is the indirection array. It prints time, speedup,
-// messages, and data volume for all four systems — sequential, CHAOS,
-// base TreadMarks, and compiler-optimized TreadMarks — at two matrix
-// sizes, produced by the application registry through the shared bench
-// harness.
+// Command table3 extends the paper's evaluation to two workloads beyond
+// its own: the spmv app (internal/apps/spmv), an iterative sparse
+// matrix-vector product whose column-index array is the indirection
+// array, and the unstructured-mesh sweep (internal/apps/unstruct). It
+// prints time, speedup, messages, and data volume for all four systems
+// — sequential, CHAOS, base TreadMarks, and compiler-optimized
+// TreadMarks — at two sizes per app, produced by the application
+// registry through the shared bench harness.
 //
 //	go run ./cmd/table3 [-n 16384] [-nnz 24] [-procs 8] [-steps 12]
 package main
@@ -12,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,8 +21,50 @@ import (
 	"repro/internal/bench"
 )
 
+// params names one full table3 rendering; the CI-size instance is
+// golden-diffed in main_test.go. The spmv rows run at n and n/2; the
+// unstruct rows at n/2 and n/4 (a mesh node carries more state and
+// edges than a matrix row, so the half sizes keep the two groups
+// comparable in cost).
+type params struct {
+	n, nnz, procs, steps int
+	detail               bool
+}
+
+func run(w io.Writer, p params) error {
+	cfg := apps.Config{Procs: p.procs, Steps: p.steps}.WithKnob("nnz_row", p.nnz)
+	spmvSizes := []bench.Size{
+		{Label: fmt.Sprintf("SPMV N = %d", p.n), N: p.n},
+		{Label: fmt.Sprintf("SPMV N = %d", p.n/2), N: p.n / 2},
+	}
+	unstructSizes := []bench.Size{
+		{Label: fmt.Sprintf("Unstruct N = %d", p.n/2), N: p.n / 2},
+		{Label: fmt.Sprintf("Unstruct N = %d", p.n/4), N: p.n / 4},
+	}
+	tbl, all, err := bench.Table3(cfg, spmvSizes, unstructSizes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	if p.detail {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, tbl.DetailString())
+	}
+	fmt.Fprintln(w)
+	for _, r := range all {
+		fmt.Fprintf(w, "%-28s inspector %.3f s/proc (untimed), Validate scan %.3f s, opt vs base: %.1fx fewer messages, %.0f%% less time\n",
+			r.Config,
+			r.Chaos.Detail["inspector_s"],
+			r.Opt.Detail["scan_s"],
+			float64(r.Base.Messages)/float64(r.Opt.Messages),
+			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
+	}
+	return nil
+}
+
 func main() {
-	n := flag.Int("n", 16384, "matrix dimension of the large row (the small row is n/2)")
+	n := flag.Int("n", 16384, "matrix dimension of the large spmv row (the small row is n/2; unstruct runs at n/2 and n/4)")
 	nnz := flag.Int("nnz", 24, "nonzeros per row")
 	procs := flag.Int("procs", 8, "simulated processors")
 	steps := flag.Int("steps", 12, "timed sweeps (one warmup sweep runs first)")
@@ -32,30 +76,9 @@ func main() {
 		fmt.Println(strings.Join(apps.Names(), "\n"))
 		return
 	}
-
-	cfg := apps.Config{Procs: *procs, Steps: *steps}.WithKnob("nnz_row", *nnz)
-	sizes := []bench.Size{
-		{Label: fmt.Sprintf("N = %d", *n), N: *n},
-		{Label: fmt.Sprintf("N = %d", *n/2), N: *n / 2},
-	}
-	tbl, all, err := bench.Table3(cfg, sizes)
-	if err != nil {
+	if err := run(os.Stdout, params{n: *n, nnz: *nnz, procs: *procs, steps: *steps,
+		detail: *detail}); err != nil {
 		fmt.Fprintln(os.Stderr, "table3:", err)
 		os.Exit(1)
-	}
-	fmt.Print(tbl.String())
-	fmt.Println("\nAll parallel backends verified bit-identical to the sequential program.")
-	if *detail {
-		fmt.Println()
-		fmt.Print(tbl.DetailString())
-	}
-	fmt.Println()
-	for _, r := range all {
-		fmt.Printf("%-28s inspector %.3f s/proc (untimed), Validate scan %.3f s, opt vs base: %.1fx fewer messages, %.0f%% less time\n",
-			r.Config,
-			r.Chaos.Detail["inspector_s"],
-			r.Opt.Detail["scan_s"],
-			float64(r.Base.Messages)/float64(r.Opt.Messages),
-			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
 	}
 }

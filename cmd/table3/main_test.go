@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"testing"
+
+	"repro/internal/golden"
+	"repro/internal/raceflag"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden fixture")
+
+// ciParams is the CI-size rendering, matching the determinism leg's
+// `table3 -n 2048 -steps 4`.
+var ciParams = params{n: 2048, nnz: 24, procs: 8, steps: 4}
+
+func TestGolden(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("golden render skipped under -race (see internal/raceflag)")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, ciParams); err != nil {
+		t.Fatal(err)
+	}
+	golden.Check(t, buf.Bytes(), "testdata/table3.golden", *update)
+}

@@ -1,0 +1,108 @@
+// Command table4 opens the lock-based scenario class: branch-and-bound
+// TSP (a shared work queue plus a lock-protected global bound — the
+// canonical lock-heavy DSM workload of the TreadMarks literature) and
+// the migratory-counter task queue (the pure lock/migratory-page
+// stress). Four systems per configuration: the sequential reference, a
+// PVM-style message-passing master/worker program, base TreadMarks (one
+// queue claim per lock acquire), and batched-claim TreadMarks. Beyond
+// the usual time/speedup/messages/data columns, the table reports the
+// synchronization-statistics layer's lock columns: acquire count,
+// simulated wait and hold seconds, and the write-notice kilobytes
+// shipped on lock grants.
+//
+//	go run ./cmd/table4 [-cities 11] [-items 2048] [-procs 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+)
+
+// params names one full table4 rendering; the CI-size instance is
+// golden-diffed in main_test.go.
+type params struct {
+	cities, items, procs    int
+	depth, batch, itemBatch int
+	detail                  bool
+}
+
+func run(w io.Writer, p params) error {
+	tspCfg := apps.Config{Procs: p.procs}.
+		WithKnob("depth", p.depth).WithKnob("batch", p.batch)
+	taskqCfg := apps.Config{Procs: p.procs}.WithKnob("batch", p.itemBatch)
+	tspSizes := []bench.Size{
+		{Label: fmt.Sprintf("TSP, %d cities", p.cities), N: p.cities},
+	}
+	taskqSizes := []bench.Size{
+		{Label: fmt.Sprintf("TaskQ, %d items", p.items), N: p.items},
+	}
+	tbl, all, err := bench.Table4(tspCfg, taskqCfg, tspSizes, taskqSizes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	if p.detail {
+		fmt.Fprintln(w)
+		for _, r := range all {
+			for _, res := range r.All() {
+				if len(res.Detail) == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%s / %s:\n", r.Config, res.System)
+				for _, k := range sortedKeys(res.Detail) {
+					fmt.Fprintf(w, "    %-24s %12.4f\n", k, res.Detail[k])
+				}
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	for _, r := range all {
+		base, opt := r.Base.LockTotal(), r.Opt.LockTotal()
+		// All grants are idle on an uncontended (e.g. 1-processor)
+		// cluster; there is no wait to compare then.
+		waitClause := "wait n/a (uncontended)"
+		if base.WaitUS > 0 {
+			waitClause = fmt.Sprintf("%+.0f%% wait", 100*(opt.WaitUS-base.WaitUS)/base.WaitUS)
+		}
+		fmt.Fprintf(w, "%-28s Tmk vs PVM %+.0f%% time; batching: %.1fx fewer acquires, %s, %.1fx fewer messages\n",
+			r.Config,
+			100*(r.Base.TimeSec-r.Chaos.TimeSec)/r.Chaos.TimeSec,
+			float64(base.Acquires)/float64(opt.Acquires),
+			waitClause,
+			float64(r.Base.Messages)/float64(r.Opt.Messages))
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	cities := flag.Int("cities", 11, "TSP city count (search tree is factorial; max 16)")
+	items := flag.Int("items", 2048, "task-queue item count")
+	procs := flag.Int("procs", 8, "simulated processors")
+	depth := flag.Int("depth", 3, "TSP seed-task prefix depth")
+	batch := flag.Int("batch", 4, "TSP tasks claimed per lock acquire (batched variant)")
+	itemBatch := flag.Int("item-batch", 8, "task-queue items claimed per lock acquire (batched variant)")
+	detail := flag.Bool("detail", false, "print per-row details")
+	flag.Parse()
+
+	if err := run(os.Stdout, params{cities: *cities, items: *items, procs: *procs,
+		depth: *depth, batch: *batch, itemBatch: *itemBatch, detail: *detail}); err != nil {
+		fmt.Fprintln(os.Stderr, "table4:", err)
+		os.Exit(1)
+	}
+}

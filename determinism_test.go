@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -13,6 +14,8 @@ import (
 	"repro/internal/apps/moldyn"
 	"repro/internal/apps/nbf"
 	"repro/internal/apps/spmv"
+	"repro/internal/apps/taskq"
+	"repro/internal/apps/tsp"
 )
 
 // triple is the exact-comparison record: raw float64 bits for the time
@@ -46,6 +49,18 @@ func stress(t *testing.T, name string, runs int, run func() *apps.Result) {
 		if err := apps.VerifyEqual(ref, r); err != nil {
 			t.Errorf("%s run %d: state diverged: %v", name, i, err)
 			return
+		}
+		// The synchronization grid (wait/hold floats included) is part
+		// of the byte-identical contract for lock-based backends.
+		if len(r.Locks) != len(ref.Locks) {
+			t.Errorf("%s run %d: %d lock cells != reference %d", name, i, len(r.Locks), len(ref.Locks))
+			return
+		}
+		for k, v := range ref.Locks {
+			if r.Locks[k] != v {
+				t.Errorf("%s run %d: lock cell %+v = %+v != reference %+v", name, i, k, r.Locks[k], v)
+				return
+			}
 		}
 	}
 }
@@ -82,5 +97,37 @@ func TestSpmvByteIdenticalAcrossRuns(t *testing.T) {
 	stress(t, "spmv/tmk", 4, func() *apps.Result { return spmv.RunTmk(w, spmv.TmkOptions{}) })
 	stress(t, "spmv/tmk-opt", 4, func() *apps.Result {
 		return spmv.RunTmk(w, spmv.TmkOptions{Optimized: true})
+	})
+}
+
+// TestTaskqByteIdenticalAcrossRuns is the arbiter contention stress:
+// every item claim is one lock acquire, so at 8 and 16 processors the
+// grant chain is hundreds of quiescence decisions long, each a chance
+// for a real-time ordering leak to change the simulated times. Run
+// under -race in CI, the per-run goroutine interleaving varies wildly;
+// the triples, final state, and lock grids must not.
+func TestTaskqByteIdenticalAcrossRuns(t *testing.T) {
+	for _, procs := range []int{8, 16} {
+		p := taskq.DefaultParams(240, procs)
+		w := taskq.Generate(p)
+		tag := func(sys string) string { return fmt.Sprintf("taskq/%s@%dp", sys, procs) }
+		stress(t, tag("mp"), 4, func() *apps.Result { return taskq.RunMP(w) })
+		stress(t, tag("tmk"), 4, func() *apps.Result { return taskq.RunTmk(w, taskq.TmkOptions{}) })
+		stress(t, tag("tmk-batch"), 4, func() *apps.Result {
+			return taskq.RunTmk(w, taskq.TmkOptions{Batched: true})
+		})
+	}
+}
+
+// TestTspByteIdenticalAcrossRuns stresses the two-lock case (queue +
+// bound) where a grant of one lock changes which processor next
+// requests the other.
+func TestTspByteIdenticalAcrossRuns(t *testing.T) {
+	p := tsp.DefaultParams(10, 8)
+	w := tsp.Generate(p)
+	stress(t, "tsp/mp", 4, func() *apps.Result { return tsp.RunMP(w) })
+	stress(t, "tsp/tmk", 4, func() *apps.Result { return tsp.RunTmk(w, tsp.TmkOptions{}) })
+	stress(t, "tsp/tmk-batch", 4, func() *apps.Result {
+		return tsp.RunTmk(w, tsp.TmkOptions{Batched: true})
 	})
 }

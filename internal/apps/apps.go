@@ -72,9 +72,35 @@ type Result struct {
 	// "inspector_s", "scan_s", and per-category traffic.
 	Detail map[string]float64
 
+	// Locks is the per-(lock, processor) synchronization grid of the
+	// measured window (nil for backends that use no locks). Filled from
+	// Measure.LockStats by the lock-based workloads.
+	Locks map[sim.LockKey]sim.LockStat
+
 	// Final state for verification (global element order).
 	Forces []float64
 	X      []float64
+}
+
+// LockTotal merges the lock grid down to one cell in canonical
+// (resource, processor) order; zero if the backend used no locks.
+func (r *Result) LockTotal() sim.LockStat {
+	return sim.TotalLockStat(r.Locks)
+}
+
+// SetLockStats stores the window's lock grid and mirrors the aggregate
+// as Detail entries ("lock_acquires", "lock_wait_s", "lock_hold_s",
+// "lock_grant_kb") so the generic detail printers show it.
+func (r *Result) SetLockStats(locks map[sim.LockKey]sim.LockStat) {
+	r.Locks = locks
+	t := sim.TotalLockStat(locks)
+	if t.IsZero() {
+		return
+	}
+	r.AddDetail("lock_acquires", float64(t.Acquires))
+	r.AddDetail("lock_wait_s", t.WaitUS/1e6)
+	r.AddDetail("lock_hold_s", t.HoldUS/1e6)
+	r.AddDetail("lock_grant_kb", float64(t.GrantBytes)/1e3)
 }
 
 // AddDetail accumulates a named detail value.
@@ -117,6 +143,8 @@ type Measure struct {
 	endTime   []float64
 	startCats map[string]sim.CatStat
 	endCats   map[string]sim.CatStat
+	startSync map[sim.LockKey]sim.LockStat
+	endSync   map[sim.LockKey]sim.LockStat
 }
 
 // NewMeasure prepares a measurement window over the cluster.
@@ -138,6 +166,7 @@ func NewMeasure(c *sim.Cluster) *Measure {
 func (m *Measure) Start(p *sim.Proc) {
 	p.BarrierExchange(m.startID, nil, 0, func(contrib []any) ([]any, []int, float64) {
 		m.startCats = m.c.Stats.Categories()
+		m.startSync = m.c.Sync.Snapshot()
 		for i := 0; i < m.c.NProcs(); i++ {
 			m.startTime[i] = m.c.Proc(i).Time()
 		}
@@ -149,6 +178,7 @@ func (m *Measure) Start(p *sim.Proc) {
 func (m *Measure) End(p *sim.Proc) {
 	p.BarrierExchange(m.endID, nil, 0, func(contrib []any) ([]any, []int, float64) {
 		m.endCats = m.c.Stats.Categories()
+		m.endSync = m.c.Sync.Snapshot()
 		for i := 0; i < m.c.NProcs(); i++ {
 			m.endTime[i] = m.c.Proc(i).Time()
 		}
@@ -176,6 +206,12 @@ func (m *Measure) Traffic() (msgs int64, dataMB float64) {
 		bytes += end.Bytes - start.Bytes
 	}
 	return msgs, float64(bytes) / 1e6
+}
+
+// LockStats returns the per-(lock, processor) synchronization deltas
+// within the window.
+func (m *Measure) LockStats() map[sim.LockKey]sim.LockStat {
+	return sim.SubSnapshots(m.endSync, m.startSync)
 }
 
 // Categories returns the per-category traffic within the window.

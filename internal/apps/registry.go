@@ -126,8 +126,10 @@ func Names() []string {
 // New builds a workload for the named registered application. Knobs the
 // application did not declare are an error, not a silent default run,
 // and N/Procs must be positive (a zero size would panic deep in the
-// arena instead of failing here).
-func New(name string, cfg Config) (Workload, error) {
+// arena instead of failing here). A factory panic (an app rejecting an
+// out-of-range size or an inapplicable parameter) is returned as an
+// error, so CLI surfaces report it instead of dumping a stack.
+func New(name string, cfg Config) (w Workload, err error) {
 	regMu.Lock()
 	r, ok := registry[name]
 	regMu.Unlock()
@@ -147,6 +149,11 @@ func New(name string, cfg Config) (Workload, error) {
 			return nil, fmt.Errorf("apps: %s knob %q must be non-negative (got %d)", name, k, v)
 		}
 	}
+	defer func() {
+		if p := recover(); p != nil {
+			w, err = nil, fmt.Errorf("apps: %s: %v", name, p)
+		}
+	}()
 	return r.f(cfg), nil
 }
 

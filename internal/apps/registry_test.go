@@ -11,6 +11,8 @@ import (
 	_ "repro/internal/apps/moldyn"
 	_ "repro/internal/apps/nbf"
 	_ "repro/internal/apps/spmv"
+	_ "repro/internal/apps/taskq"
+	_ "repro/internal/apps/tsp"
 	_ "repro/internal/apps/unstruct"
 )
 
@@ -22,6 +24,9 @@ func appConfigs(t *testing.T) map[string]apps.Config {
 		"nbf":      {N: 256, Procs: 4, Steps: 3, Knobs: map[string]int{"partners": 12}},
 		"unstruct": {N: 256, Procs: 4, Steps: 3},
 		"spmv":     {N: 384, Procs: 4, Steps: 3, Knobs: map[string]int{"nnz_row": 8}},
+		// Lock-based workloads: N is cities/items, not elements.
+		"tsp":   {N: 8, Procs: 4, Knobs: map[string]int{"depth": 2}},
+		"taskq": {N: 96, Procs: 4},
 	}
 }
 

@@ -1,0 +1,45 @@
+// Registry adapter: taskq as an apps.Workload. The registry's Chaos
+// slot runs the message-passing master/worker program and the TmkOpt
+// slot the batched-claim variant. Knobs: "batch" (items per lock
+// acquire in the batched variant), "work_lo"/"work_hi" (per-item cost
+// range, us), "page_size".
+package taskq
+
+import "repro/internal/apps"
+
+// App adapts a generated taskq workload to the registry interface.
+type App struct{ W *Workload }
+
+// Name implements apps.Workload.
+func (a App) Name() string { return "taskq" }
+
+// Sequential implements apps.Workload.
+func (a App) Sequential() *apps.Result { return RunSequential(a.W) }
+
+// Chaos implements apps.Workload (the message-passing variant).
+func (a App) Chaos() *apps.Result { return RunMP(a.W) }
+
+// TmkBase implements apps.Workload.
+func (a App) TmkBase() *apps.Result { return RunTmk(a.W, TmkOptions{}) }
+
+// TmkOpt implements apps.Workload (the batched-claim variant).
+func (a App) TmkOpt() *apps.Result { return RunTmk(a.W, TmkOptions{Batched: true}) }
+
+func init() {
+	apps.Register("taskq", func(cfg apps.Config) apps.Workload {
+		if cfg.Steps != 0 {
+			// The queue drains once; a sweep over Steps must fail
+			// loudly, not produce identical runs.
+			panic("taskq: Steps is not a parameter of this workload")
+		}
+		p := DefaultParams(cfg.N, cfg.Procs)
+		if cfg.Seed != 0 {
+			p.Seed = cfg.Seed
+		}
+		p.Batch = cfg.Knob("batch", p.Batch)
+		p.WorkLoUS = cfg.Knob("work_lo", p.WorkLoUS)
+		p.WorkHiUS = cfg.Knob("work_hi", p.WorkHiUS)
+		p.PageSize = cfg.Knob("page_size", p.PageSize)
+		return App{W: Generate(p)}
+	}, "batch", "work_lo", "work_hi", "page_size")
+}

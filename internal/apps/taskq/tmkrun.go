@@ -1,0 +1,86 @@
+// The TreadMarks backends for taskq: the counter is one int64 in the
+// DSM under a single lock, and the counter page migrates with the lock
+// from grantee to grantee — every acquire invalidates the new holder's
+// copy and the first read fetches the previous holder's diff. The base
+// variant claims one item per acquire (maximum contention, the arbiter
+// stress case); the batched variant claims Params.Batch items per
+// acquire, trading lock traffic for coarser load balancing.
+package taskq
+
+import (
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// lockCounter protects the shared queue-head counter.
+const lockCounter = 1
+
+// TmkOptions selects the TreadMarks variant.
+type TmkOptions struct {
+	Batched bool // claim Params.Batch items per lock acquire
+}
+
+// RunTmk executes taskq on the TreadMarks DSM.
+func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
+	p := w.P
+	nprocs := p.Procs
+	batch := int64(1)
+	system := "tmk"
+	if opt.Batched {
+		batch = int64(p.Batch)
+		system = "tmk-opt"
+	}
+
+	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	d := tmk.New(cl, p.PageSize, 2*p.PageSize)
+	cAddr := d.Alloc(8)
+	d.Node(0).Space().WriteI64(cAddr, 0)
+	d.SealInit()
+
+	meas := apps.NewMeasure(cl)
+	sums := make([]int64, nprocs)
+	cl.Run(func(proc *sim.Proc) {
+		me := proc.ID()
+		node := d.Node(me)
+		space := node.Space()
+		meas.Start(proc)
+		for {
+			node.AcquireLock(lockCounter)
+			lo := space.ReadI64(cAddr)
+			hi := lo
+			if lo < int64(p.N) {
+				hi = lo + batch
+				if hi > int64(p.N) {
+					hi = int64(p.N)
+				}
+				space.WriteI64(cAddr, hi)
+			}
+			node.ReleaseLock(lockCounter)
+			if hi == lo {
+				break
+			}
+			for i := lo; i < hi; i++ {
+				sums[me] += i
+				proc.Advance(w.WorkUS[i])
+			}
+		}
+		node.Barrier(1)
+		meas.End(proc)
+	})
+
+	var sum int64
+	for _, s := range sums {
+		sum += s
+	}
+	counter := d.Node(0).Space().ReadI64(cAddr)
+	res := resultOf(system, counter, sum)
+	res.TimeSec = meas.TimeSec()
+	res.Messages, res.DataMB = meas.Traffic()
+	for k, v := range meas.Categories() {
+		res.AddDetail("msgs."+k, float64(v.Messages))
+		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)
+	}
+	res.SetLockStats(meas.LockStats())
+	return res
+}

@@ -16,11 +16,14 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/sim"
 
 	// Register the first-class applications.
 	_ "repro/internal/apps/moldyn"
 	_ "repro/internal/apps/nbf"
 	_ "repro/internal/apps/spmv"
+	_ "repro/internal/apps/taskq"
+	_ "repro/internal/apps/tsp"
 	_ "repro/internal/apps/unstruct"
 )
 
@@ -191,14 +194,116 @@ func Table2(cfg apps.Config, sizes []Size) (*Table, []*AppResults, error) {
 	return AppTable(t, "nbf", sizeSpecs(cfg, sizes), false)
 }
 
-// Table3 extends the evaluation to the spmv workload: all four systems
-// (sequential included) across matrix sizes.
-func Table3(cfg apps.Config, sizes []Size) (*Table, []*AppResults, error) {
+// Table3 extends the evaluation beyond the paper's two apps: the spmv
+// workload (all four systems, sequential included, across matrix sizes)
+// followed by the unstructured-mesh row group at its own sizes. The
+// config's knobs apply to spmv only (unstruct declares none).
+func Table3(cfg apps.Config, spmvSizes, unstructSizes []Size) (*Table, []*AppResults, error) {
 	t := fmt.Sprintf(
-		"Table 3: SPMV - %d processor results (%s, %s).",
+		"Table 3: SPMV and Unstruct - %d processor results (%s, %s).",
 		cfg.Procs, fmtN(cfg.Knob("nnz_row", 0), "nonzeros/row"),
 		fmtN(cfg.Steps, "timed sweeps"))
-	return AppTable(t, "spmv", sizeSpecs(cfg, sizes), true)
+	tbl, all, err := AppTable(t, "spmv", sizeSpecs(cfg, spmvSizes), true)
+	if err != nil {
+		return nil, nil, err
+	}
+	ucfg := cfg
+	ucfg.Knobs = nil
+	utbl, uall, err := AppTable("", "unstruct", sizeSpecs(ucfg, unstructSizes), true)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl.Rows = append(tbl.Rows, utbl.Rows...)
+	return tbl, append(all, uall...), nil
+}
+
+// LockRow is one line of the lock-workload table: the common columns
+// plus the aggregated synchronization cell of the measured window.
+type LockRow struct {
+	Row
+	Locks sim.LockStat
+}
+
+// LockTable is the formatted lock-workload experiment result
+// (cmd/table4).
+type LockTable struct {
+	Title string
+	Rows  []LockRow
+}
+
+// String renders the table: the common columns of Tables 1-3 plus the
+// lock columns (acquire count, simulated wait and hold seconds, and the
+// write-notice kilobytes shipped on lock grants).
+func (t *LockTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-30s %-13s %9s %8s %9s %9s %8s %8s %8s %10s\n",
+		"Configuration", "System", "Time (s)", "Speedup", "Messages", "Data (MB)",
+		"Lock acq", "Wait (s)", "Hold (s)", "Grant (KB)")
+	b.WriteString(strings.Repeat("-", 122) + "\n")
+	last := ""
+	for _, r := range t.Rows {
+		cfg := r.Config
+		if cfg == last {
+			cfg = ""
+		} else {
+			last = r.Config
+		}
+		fmt.Fprintf(&b, "%-30s %-13s %9.3f %8.2f %9d %9.2f %8d %8.3f %8.3f %10.1f\n",
+			cfg, r.System, r.TimeSec, r.Speedup, r.Messages, r.DataMB,
+			r.Locks.Acquires, r.Locks.WaitUS/1e6, r.Locks.HoldUS/1e6,
+			float64(r.Locks.GrantBytes)/1e3)
+	}
+	return b.String()
+}
+
+// lockRowsOf converts one configuration's results into lock-table rows.
+// The Chaos slot of the lock workloads runs the message-passing
+// master/worker program, and the Opt slot the batched-claim TreadMarks
+// variant; the labels say so.
+func lockRowsOf(res *AppResults) []LockRow {
+	mk := func(sys string, r *apps.Result) LockRow {
+		return LockRow{
+			Row: Row{Config: res.Config, System: sys, TimeSec: r.TimeSec, Speedup: r.Speedup,
+				Messages: r.Messages, DataMB: r.DataMB, Detail: r.Detail},
+			Locks: r.LockTotal(),
+		}
+	}
+	return []LockRow{
+		mk("Sequential", res.Seq), mk("PVM m/w", res.Chaos),
+		mk("Tmk base", res.Base), mk("Tmk batched", res.Opt),
+	}
+}
+
+// Table4 opens the lock-based scenario class: branch-and-bound TSP and
+// the migratory-counter task queue, comparing the sequential reference,
+// a PVM-style message-passing master/worker program, base TreadMarks
+// (one queue claim per lock acquire), and batched-claim TreadMarks.
+// tspCfg/taskqCfg carry the per-app knobs; the sizes name the row
+// groups (cities for tsp, items for taskq).
+func Table4(tspCfg, taskqCfg apps.Config, tspSizes, taskqSizes []Size) (*LockTable, []*AppResults, error) {
+	t := &LockTable{Title: fmt.Sprintf(
+		"Table 4: Lock-based workloads - %d processor results (branch-and-bound TSP; migratory task queue).",
+		tspCfg.Procs)}
+	var all []*AppResults
+	add := func(app string, cfg apps.Config, sizes []Size) error {
+		for _, s := range sizeSpecs(cfg, sizes) {
+			res, err := RunApp(app, s.Cfg, s.Label)
+			if err != nil {
+				return err
+			}
+			all = append(all, res)
+			t.Rows = append(t.Rows, lockRowsOf(res)...)
+		}
+		return nil
+	}
+	if err := add("tsp", tspCfg, tspSizes); err != nil {
+		return nil, nil, err
+	}
+	if err := add("taskq", taskqCfg, taskqSizes); err != nil {
+		return nil, nil, err
+	}
+	return t, all, nil
 }
 
 func sizeSpecs(cfg apps.Config, sizes []Size) []RowSpec {

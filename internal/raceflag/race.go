@@ -1,0 +1,11 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in.
+// The golden-fixture tests skip under -race: they re-render full tables
+// (minutes under the detector for zero extra interleaving coverage —
+// the determinism stress tests already race the same code paths), while
+// the plain test leg diffs every golden.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

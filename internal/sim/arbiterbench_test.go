@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkArbiter measures the wall-clock cost of one fully contended
+// acquire/hold/release cycle per processor through the quiescence
+// arbiter — the ROADMAP "wall-clock speed" baseline for the lock path.
+// Every grant waits for cluster quiescence, so this is the worst case:
+// b.N cycles on each of the procs goroutines, all on one resource.
+// One op is one cycle on one processor (procs grants happen per op
+// across the cluster).
+func BenchmarkArbiter(b *testing.B) {
+	for _, procs := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			c := NewCluster(DefaultConfig(procs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.Run(func(p *Proc) {
+				for i := 0; i < b.N; i++ {
+					free := p.AcquireResource(1, p.Clock(), nil)
+					if free > p.Clock() {
+						p.AdvanceTo(free)
+					}
+					p.Advance(10)
+					p.ReleaseResource(1, p.Clock())
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkArbiterUncontended is the floor: one processor cycling a
+// private resource (every acquire still runs the quiescence check).
+func BenchmarkArbiterUncontended(b *testing.B) {
+	c := NewCluster(DefaultConfig(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	c.Run(func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.AcquireResource(1, p.Clock(), nil)
+			p.Advance(10)
+			p.ReleaseResource(1, p.Clock())
+		}
+	})
+}

@@ -250,6 +250,7 @@ type Cluster struct {
 	cfg   Config
 	procs []*Proc
 	Stats Stats
+	Sync  SyncStats
 
 	// schedMu guards every blocking structure — mailboxes, barriers,
 	// resources — plus the runnable-processor count, so blocked/runnable
@@ -267,6 +268,7 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	c := &Cluster{cfg: cfg, barriers: map[int]*barrier{}, resources: map[int]*resource{}}
 	c.Stats.init(cfg.Procs)
+	c.Sync.init(cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
 		p := &Proc{
 			id:       i,
@@ -696,6 +698,12 @@ type resource struct {
 	held    bool
 	lastVal float64
 	waiters []*resWaiter
+
+	// Grant bookkeeping for SyncStats: who holds the resource and the
+	// simulated instant it was granted (max of request key and the time
+	// the previous holder freed it).
+	holder  int
+	grantAt float64
 }
 
 type resWaiter struct {
@@ -768,6 +776,7 @@ func (p *Proc) ReleaseResource(res int, val float64) {
 	}
 	r.held = false
 	r.lastVal = val
+	c.Sync.recordRelease(r.holder, res, val-r.grantAt)
 	c.grantQuiescentLocked()
 	c.schedMu.Unlock()
 }
@@ -801,6 +810,12 @@ func (c *Cluster) grantQuiescentLocked() {
 		r.held = true
 		w.granted = true
 		w.grantVal = r.lastVal
+		r.holder = w.proc
+		r.grantAt = w.key
+		if r.lastVal > r.grantAt {
+			r.grantAt = r.lastVal
+		}
+		c.Sync.recordGrant(w.proc, id, r.grantAt-w.key)
 		if w.onGrant != nil {
 			w.onGrant()
 		}

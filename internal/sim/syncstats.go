@@ -1,0 +1,225 @@
+// Synchronization statistics: per-lock, per-processor attribution of
+// the arbiter-level behavior — how often each resource was acquired,
+// how long acquirers waited (simulated time), how long grantees held,
+// and how many notice bytes rode on grants.
+//
+// Determinism follows the same recipe as Stats.CountP: every update
+// lands in the acquiring/holding processor's own shard, in that
+// processor's program order (grants and releases of one processor are
+// ordered by its own execution, which is deterministic by DESIGN.md
+// §7), and reads merge the shards in processor-id order so the
+// non-associative float additions happen in one canonical order.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LockStat aggregates one (resource, processor) cell of the
+// synchronization behavior. WaitUS is the simulated time between the
+// request's arrival at the manager and the instant the resource came
+// free for this grantee (zero when granted an idle resource); HoldUS is
+// the simulated time from grant to release; GrantBytes are the protocol
+// payload bytes shipped on grant messages (the TreadMarks write-notice
+// freight, reported by the protocol layer via CountGrantBytes).
+type LockStat struct {
+	Acquires   int64
+	WaitUS     float64
+	HoldUS     float64
+	GrantBytes int64
+}
+
+// Add returns the cell-wise sum a+b.
+func (a LockStat) Add(b LockStat) LockStat {
+	return LockStat{
+		Acquires:   a.Acquires + b.Acquires,
+		WaitUS:     a.WaitUS + b.WaitUS,
+		HoldUS:     a.HoldUS + b.HoldUS,
+		GrantBytes: a.GrantBytes + b.GrantBytes,
+	}
+}
+
+// Sub returns the cell-wise difference a-b (window deltas).
+func (a LockStat) Sub(b LockStat) LockStat {
+	return LockStat{
+		Acquires:   a.Acquires - b.Acquires,
+		WaitUS:     a.WaitUS - b.WaitUS,
+		HoldUS:     a.HoldUS - b.HoldUS,
+		GrantBytes: a.GrantBytes - b.GrantBytes,
+	}
+}
+
+// IsZero reports whether every counter is zero.
+func (a LockStat) IsZero() bool { return a == LockStat{} }
+
+// LockKey identifies one cell of the per-lock, per-processor grid.
+type LockKey struct {
+	Res  int // resource (lock) id
+	Proc int // acquiring/holding processor
+}
+
+// syncShard is one processor's private cell map. Its mutex is ordered
+// strictly inside schedMu (taken while schedMu is held, never the
+// reverse) and inside nothing else.
+type syncShard struct {
+	mu    sync.Mutex
+	byRes map[int]*LockStat
+}
+
+func (s *syncShard) cell(res int) *LockStat {
+	ls := s.byRes[res]
+	if ls == nil {
+		ls = &LockStat{}
+		if s.byRes == nil {
+			s.byRes = map[int]*LockStat{}
+		}
+		s.byRes[res] = ls
+	}
+	return ls
+}
+
+// SyncStats is the cluster-wide synchronization-statistics store, one
+// shard per processor plus a global fallback for goroutines outside the
+// cluster.
+type SyncStats struct {
+	global syncShard
+	shards []syncShard
+}
+
+func (s *SyncStats) init(procs int) {
+	s.shards = make([]syncShard, procs)
+}
+
+func (s *SyncStats) shard(proc int) *syncShard {
+	if proc >= 0 && proc < len(s.shards) {
+		return &s.shards[proc]
+	}
+	return &s.global
+}
+
+// recordGrant credits one acquire and its simulated wait to proc.
+func (s *SyncStats) recordGrant(proc, res int, waitUS float64) {
+	sh := s.shard(proc)
+	sh.mu.Lock()
+	c := sh.cell(res)
+	c.Acquires++
+	c.WaitUS += waitUS
+	sh.mu.Unlock()
+}
+
+// recordRelease credits the hold interval to proc.
+func (s *SyncStats) recordRelease(proc, res int, holdUS float64) {
+	sh := s.shard(proc)
+	sh.mu.Lock()
+	sh.cell(res).HoldUS += holdUS
+	sh.mu.Unlock()
+}
+
+// CountGrantBytes credits protocol payload bytes carried by a grant to
+// processor proc for resource res. Protocol layers call it from the
+// grantee's own goroutine (deterministic per-shard order); integers
+// merge order-independently anyway.
+func (s *SyncStats) CountGrantBytes(proc, res int, bytes int64) {
+	sh := s.shard(proc)
+	sh.mu.Lock()
+	sh.cell(res).GrantBytes += bytes
+	sh.mu.Unlock()
+}
+
+// Snapshot returns the full per-(resource, processor) grid. The global
+// shard (updates from goroutines outside the cluster) appears as
+// Proc == -1.
+func (s *SyncStats) Snapshot() map[LockKey]LockStat {
+	out := map[LockKey]LockStat{}
+	collect := func(sh *syncShard, proc int) {
+		sh.mu.Lock()
+		for res, ls := range sh.byRes {
+			k := LockKey{Res: res, Proc: proc}
+			out[k] = out[k].Add(*ls)
+		}
+		sh.mu.Unlock()
+	}
+	collect(&s.global, -1)
+	for i := range s.shards {
+		collect(&s.shards[i], i)
+	}
+	return out
+}
+
+// PerLock merges a snapshot over processors: one LockStat per resource,
+// summed in processor-id order (SortedKeys fixes the float order).
+func PerLock(snap map[LockKey]LockStat) map[int]LockStat {
+	out := map[int]LockStat{}
+	for _, k := range SortedLockKeys(snap) {
+		out[k.Res] = out[k.Res].Add(snap[k])
+	}
+	return out
+}
+
+// TotalLockStat merges a snapshot down to a single cell, summing in
+// (resource, processor) order.
+func TotalLockStat(snap map[LockKey]LockStat) LockStat {
+	var t LockStat
+	for _, k := range SortedLockKeys(snap) {
+		t = t.Add(snap[k])
+	}
+	return t
+}
+
+// SortedLockKeys returns the snapshot's keys ordered by (Res, Proc) —
+// the canonical merge order for the non-associative float sums.
+func SortedLockKeys(snap map[LockKey]LockStat) []LockKey {
+	keys := make([]LockKey, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Res != keys[j].Res {
+			return keys[i].Res < keys[j].Res
+		}
+		return keys[i].Proc < keys[j].Proc
+	})
+	return keys
+}
+
+// SubSnapshots returns end-start cell-wise, dropping all-zero cells
+// (window deltas for a measurement interval).
+func SubSnapshots(end, start map[LockKey]LockStat) map[LockKey]LockStat {
+	out := map[LockKey]LockStat{}
+	for k, e := range end {
+		d := e.Sub(start[k])
+		if !d.IsZero() {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// String formats the statistics, one (lock, proc) cell per line in
+// canonical order.
+func (s *SyncStats) String() string {
+	snap := s.Snapshot()
+	var b strings.Builder
+	for _, k := range SortedLockKeys(snap) {
+		ls := snap[k]
+		fmt.Fprintf(&b, "lock %4d proc %3d: %6d acq %12.1f wait-us %12.1f hold-us %10d grant-bytes\n",
+			k.Res, k.Proc, ls.Acquires, ls.WaitUS, ls.HoldUS, ls.GrantBytes)
+	}
+	return b.String()
+}
+
+// Reset clears all counters.
+func (s *SyncStats) Reset() {
+	clearShard := func(sh *syncShard) {
+		sh.mu.Lock()
+		sh.byRes = map[int]*LockStat{}
+		sh.mu.Unlock()
+	}
+	clearShard(&s.global)
+	for i := range s.shards {
+		clearShard(&s.shards[i])
+	}
+}

@@ -196,6 +196,7 @@ func (n *Node) AcquireLock(id int) {
 	reqB := 4 * len(n.seen) // request carries the per-writer watermark
 	d.cluster.Stats.CountP(n.proc.ID(), "tmk.lock",
 		cfg.Frags(reqB)+cfg.Frags(bytes), cfg.WireBytes(reqB)+cfg.WireBytes(bytes))
+	d.cluster.Sync.CountGrantBytes(n.proc.ID(), id, int64(bytes))
 	n.proc.AdvanceTo(grantAt + cfg.LatencyUS + cfg.XferUS(bytes))
 
 	n.applyNotices(nts)

@@ -134,6 +134,7 @@ func (d *DSM) SealInit() {
 	}
 	d.cluster.ResetClocks()
 	d.cluster.Stats.Reset()
+	d.cluster.Sync.Reset()
 }
 
 type diffKey struct {
