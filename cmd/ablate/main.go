@@ -1,22 +1,28 @@
 // Command ablate runs the ablation sweeps of DESIGN.md §4 (claims C2,
-// C3 and ablations A1-A5): the effect of indirection-array update
-// frequency, page size / false sharing, message aggregation, WRITE_ALL
-// reduction shipping, processor count, incremental page-set
-// recomputation, and translation-table organization.
+// C3 and ablations A1-A5) plus the memory-capacity sweep of §9: the
+// effect of indirection-array update frequency, page size / false
+// sharing, message aggregation, WRITE_ALL reduction shipping, processor
+// count, incremental page-set recomputation, translation-table
+// organization, and the per-processor memory budget that *forces* the
+// organization (the moldyn 85 MB anecdote, asserted).
 //
-//	go run ./cmd/ablate -sweep=update|pagesize|aggregation|writeall|procs|incremental|ttable
+//	go run ./cmd/ablate -sweep=update|pagesize|aggregation|writeall|procs|incremental|ttable|memory
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/apps"
 	"repro/internal/apps/moldyn"
 	"repro/internal/apps/nbf"
+	"repro/internal/apps/spmv"
+	"repro/internal/bench"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/rsd"
 	"repro/internal/sim"
 	"repro/internal/tmk"
@@ -28,84 +34,94 @@ func main() {
 	procs := flag.Int("procs", 8, "processors")
 	flag.Parse()
 
-	switch *sweep {
-	case "update":
-		sweepUpdate(*n, *procs)
-	case "pagesize":
-		sweepPageSize(*n, *procs)
-	case "aggregation":
-		sweepAggregation(*n, *procs)
-	case "writeall":
-		sweepWriteAll(*n, *procs)
-	case "procs":
-		sweepProcs(*n)
-	case "incremental":
-		sweepIncremental(*n, *procs)
-	case "ttable":
-		sweepTTable(*n, *procs)
-	default:
-		fmt.Fprintln(os.Stderr, "unknown sweep:", *sweep)
+	if err := run(os.Stdout, *sweep, *n, *procs); err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
 		os.Exit(1)
 	}
 }
 
-func header(cols ...string) {
-	for _, c := range cols {
-		fmt.Printf("%14s", c)
+// run dispatches one sweep onto w (the golden tests render through it).
+func run(w io.Writer, sweep string, n, procs int) error {
+	switch sweep {
+	case "update":
+		sweepUpdate(w, n, procs)
+	case "pagesize":
+		sweepPageSize(w, n, procs)
+	case "aggregation":
+		sweepAggregation(w, n, procs)
+	case "writeall":
+		sweepWriteAll(w, n, procs)
+	case "procs":
+		sweepProcs(w, n)
+	case "incremental":
+		sweepIncremental(w, n, procs)
+	case "ttable":
+		sweepTTable(w, n, procs)
+	case "memory":
+		return sweepMemory(w, n, procs)
+	default:
+		return fmt.Errorf("unknown sweep: %s", sweep)
 	}
-	fmt.Println()
+	return nil
+}
+
+func header(w io.Writer, cols ...string) {
+	for _, c := range cols {
+		fmt.Fprintf(w, "%14s", c)
+	}
+	fmt.Fprintln(w)
 }
 
 // sweepUpdate is claim C2: the DSM approach's advantage over CHAOS grows
 // with the frequency of indirection-array changes.
-func sweepUpdate(n, procs int) {
-	fmt.Printf("C2: moldyn, advantage vs update interval (N=%d, %d procs, 40 steps)\n\n", n, procs)
-	header("update", "chaos (s)", "tmk-opt (s)", "advantage")
+func sweepUpdate(w io.Writer, n, procs int) {
+	fmt.Fprintf(w, "C2: moldyn, advantage vs update interval (N=%d, %d procs, 40 steps)\n\n", n, procs)
+	header(w, "update", "chaos (s)", "tmk-opt (s)", "advantage")
 	for _, u := range []int{40, 20, 10, 5, 4} {
 		p := moldyn.DefaultParams(n, procs)
 		p.UpdateEvery = u
-		w := moldyn.Generate(p)
-		ch := moldyn.RunChaos(w)
-		opt := moldyn.RunTmk(w, moldyn.TmkOptions{Optimized: true})
+		wl := moldyn.Generate(p)
+		ch := moldyn.RunChaos(wl)
+		opt := moldyn.RunTmk(wl, moldyn.TmkOptions{Optimized: true})
 		mustEqual(ch, opt)
-		fmt.Printf("%14d%14.2f%14.2f%13.0f%%\n", u, ch.TimeSec, opt.TimeSec,
+		fmt.Fprintf(w, "%14d%14.2f%14.2f%13.0f%%\n", u, ch.TimeSec, opt.TimeSec,
 			100*(ch.TimeSec-opt.TimeSec)/ch.TimeSec)
 	}
-	fmt.Println("\nThe optimized DSM's advantage grows as the list changes more often")
-	fmt.Println("(the inspector reruns; the Validate scan is an order cheaper).")
+	fmt.Fprintln(w, "\nThe optimized DSM's advantage grows as the list changes more often")
+	fmt.Fprintln(w, "(the inspector reruns; the Validate scan is an order cheaper).")
 }
 
 // sweepPageSize is claim C3: false sharing hurts when the consistency
 // unit is large relative to the (misaligned) per-processor data.
-func sweepPageSize(n, procs int) {
-	fmt.Printf("C3: nbf false sharing vs page size (N=%d misaligned, %d procs)\n\n", n*1000/1024, procs)
-	header("page (B)", "tmk-opt (s)", "messages", "data (MB)")
+func sweepPageSize(w io.Writer, n, procs int) {
+	fmt.Fprintf(w, "C3: nbf false sharing vs page size (N=%d misaligned, %d procs)\n\n", n*1000/1024, procs)
+	header(w, "page (B)", "tmk-opt (s)", "messages", "data (MB)")
 	for _, ps := range []int{1024, 2048, 4096, 8192} {
 		p := nbf.DefaultParams(n*1000/1024, procs) // misaligned size
 		p.PageSize = ps
-		w := nbf.Generate(p)
-		opt := nbf.RunTmk(w, nbf.TmkOptions{Optimized: true})
-		fmt.Printf("%14d%14.3f%14d%14.2f\n", ps, opt.TimeSec, opt.Messages, opt.DataMB)
+		wl := nbf.Generate(p)
+		opt := nbf.RunTmk(wl, nbf.TmkOptions{Optimized: true})
+		fmt.Fprintf(w, "%14d%14.3f%14d%14.2f\n", ps, opt.TimeSec, opt.Messages, opt.DataMB)
 	}
-	fmt.Println("\nLarger pages widen the falsely-shared boundary regions.")
+	fmt.Fprintln(w, "\nLarger pages widen the falsely-shared boundary regions.")
 }
 
 // sweepAggregation is ablation A1: Validate with and without per-
 // processor message aggregation.
-func sweepAggregation(n, procs int) {
-	fmt.Printf("A1: value of aggregation (moldyn N=%d + nbf N=%d, %d procs)\n\n", n, 16*n, procs)
-	header("app", "variant", "time (s)", "messages")
+func sweepAggregation(w io.Writer, n, procs int) {
+	fmt.Fprintf(w, "A1: value of aggregation (moldyn N=%d + nbf N=%d, %d procs)\n\n", n, 16*n, procs)
+	header(w, "app", "variant", "time (s)", "messages")
 	pm := moldyn.DefaultParams(n, procs)
 	wm := moldyn.Generate(pm)
 	for _, noAgg := range []bool{false, true} {
 		r := moldyn.RunTmk(wm, moldyn.TmkOptions{Optimized: true, NoAggregation: noAgg})
-		fmt.Printf("%14s%14s%14.2f%14d\n", "moldyn", variant(noAgg), r.TimeSec, r.Messages)
+		fmt.Fprintf(w, "%14s%14s%14.2f%14d\n", "moldyn", variant(noAgg), r.TimeSec, r.Messages)
 	}
 	pn := nbf.DefaultParams(16*n, procs)
 	wn := nbf.Generate(pn)
 	for _, noAgg := range []bool{false, true} {
 		r := nbf.RunTmk(wn, nbf.TmkOptions{Optimized: true, NoAggregation: noAgg})
-		fmt.Printf("%14s%14s%14.2f%14d\n", "nbf", variant(noAgg), r.TimeSec, r.Messages)
+		fmt.Fprintf(w, "%14s%14s%14.2f%14d\n", "nbf", variant(noAgg), r.TimeSec, r.Messages)
 	}
 }
 
@@ -118,36 +134,36 @@ func variant(noAgg bool) string {
 
 // sweepWriteAll is ablation A2: the whole-page reduction shipping. The
 // per-processor blocks must span whole pages for WRITE_ALL to engage.
-func sweepWriteAll(n, procs int) {
-	fmt.Printf("A2: value of WRITE_ALL page shipping (nbf N=%d, %d procs)\n\n", 16*n, procs)
-	header("variant", "time (s)", "messages", "data (MB)")
+func sweepWriteAll(w io.Writer, n, procs int) {
+	fmt.Fprintf(w, "A2: value of WRITE_ALL page shipping (nbf N=%d, %d procs)\n\n", 16*n, procs)
+	header(w, "variant", "time (s)", "messages", "data (MB)")
 	p := nbf.DefaultParams(16*n, procs)
-	w := nbf.Generate(p)
+	wl := nbf.Generate(p)
 	for _, noWA := range []bool{false, true} {
-		r := nbf.RunTmk(w, nbf.TmkOptions{Optimized: true, NoWriteAll: noWA})
+		r := nbf.RunTmk(wl, nbf.TmkOptions{Optimized: true, NoWriteAll: noWA})
 		name := "write_all"
 		if noWA {
 			name = "twin+diff"
 		}
-		fmt.Printf("%14s%14.3f%14d%14.2f\n", name, r.TimeSec, r.Messages, r.DataMB)
+		fmt.Fprintf(w, "%14s%14.3f%14d%14.2f\n", name, r.TimeSec, r.Messages, r.DataMB)
 	}
-	fmt.Println("\nWithout WRITE_ALL the reduction ships stacks of overlapping diffs")
-	fmt.Println("(the base-TreadMarks pathology the paper calls out).")
+	fmt.Fprintln(w, "\nWithout WRITE_ALL the reduction ships stacks of overlapping diffs")
+	fmt.Fprintln(w, "(the base-TreadMarks pathology the paper calls out).")
 }
 
 // sweepProcs is ablation A3: scaling with processor count.
-func sweepProcs(n int) {
-	fmt.Printf("A3: moldyn scaling (N=%d)\n\n", n)
-	header("procs", "seq (s)", "tmk-opt (s)", "speedup", "chaos (s)")
+func sweepProcs(w io.Writer, n int) {
+	fmt.Fprintf(w, "A3: moldyn scaling (N=%d)\n\n", n)
+	header(w, "procs", "seq (s)", "tmk-opt (s)", "speedup", "chaos (s)")
 	p1 := moldyn.DefaultParams(n, 1)
 	seq := moldyn.RunSequential(moldyn.Generate(p1))
 	for _, np := range []int{1, 2, 4, 8, 16} {
 		p := moldyn.DefaultParams(n, np)
-		w := moldyn.Generate(p)
-		opt := moldyn.RunTmk(w, moldyn.TmkOptions{Optimized: true})
-		ch := moldyn.RunChaos(w)
+		wl := moldyn.Generate(p)
+		opt := moldyn.RunTmk(wl, moldyn.TmkOptions{Optimized: true})
+		ch := moldyn.RunChaos(wl)
 		mustEqual(opt, ch)
-		fmt.Printf("%14d%14.2f%14.2f%14.2f%14.2f\n",
+		fmt.Fprintf(w, "%14d%14.2f%14.2f%14.2f%14.2f\n",
 			np, seq.TimeSec, opt.TimeSec, seq.TimeSec/opt.TimeSec, ch.TimeSec)
 	}
 }
@@ -158,10 +174,10 @@ func sweepProcs(n int) {
 // changes size at every rebuild, so it always falls back there); this
 // micro-benchmark mutates a fixed-size indirection array between
 // Validates.
-func sweepIncremental(n, procs int) {
+func sweepIncremental(w io.Writer, n, procs int) {
 	entries := 64 * n
-	fmt.Printf("A4: incremental page-set recomputation (%d entries, %d mutated/step)\n\n", entries, entries/100)
-	header("variant", "validate (s)")
+	fmt.Fprintf(w, "A4: incremental page-set recomputation (%d entries, %d mutated/step)\n\n", entries, entries/100)
+	header(w, "variant", "validate (s)")
 	for _, incremental := range []bool{false, true} {
 		cl := sim.NewCluster(sim.DefaultConfig(2))
 		d := tmk.New(cl, 4096, 1<<26)
@@ -200,26 +216,112 @@ func sweepIncremental(n, procs int) {
 		if incremental {
 			name = "incremental"
 		}
-		fmt.Printf("%14s%14.4f\n", name, spent)
+		fmt.Fprintf(w, "%14s%14.4f\n", name, spent)
 	}
-	fmt.Println("\nThe paper sketches this ('a more sophisticated version ... could use")
-	fmt.Println("diffing to incrementally recompute the page sets') but did not build it.")
+	fmt.Fprintln(w, "\nThe paper sketches this ('a more sophisticated version ... could use")
+	fmt.Fprintln(w, "diffing to incrementally recompute the page sets') but did not build it.")
 }
 
 // sweepTTable is ablation A5: translation-table organizations.
-func sweepTTable(n, procs int) {
-	fmt.Printf("A5: CHAOS translation-table organization (moldyn N=%d, %d procs)\n\n", n, procs)
-	header("table", "time (s)", "messages", "data (MB)", "inspector")
+func sweepTTable(w io.Writer, n, procs int) {
+	fmt.Fprintf(w, "A5: CHAOS translation-table organization (moldyn N=%d, %d procs)\n\n", n, procs)
+	header(w, "table", "time (s)", "messages", "data (MB)", "inspector")
 	for _, kind := range []chaos.TableKind{chaos.Replicated, chaos.Distributed, chaos.Paged} {
 		p := moldyn.DefaultParams(n, procs)
 		p.TableKind = kind
-		w := moldyn.Generate(p)
-		r := moldyn.RunChaos(w)
-		fmt.Printf("%14s%14.2f%14d%14.2f%14.2f\n",
+		wl := moldyn.Generate(p)
+		r := moldyn.RunChaos(wl)
+		fmt.Fprintf(w, "%14s%14.2f%14d%14.2f%14.2f\n",
 			kind, r.TimeSec, r.Messages, r.DataMB, r.Detail["inspector_s"])
 	}
-	fmt.Println("\nThe paper used the distributed table for moldyn (replication did not")
-	fmt.Println("fit) and notes the resulting inspector communication.")
+	fmt.Fprintln(w, "\nThe paper used the distributed table for moldyn (replication did not")
+	fmt.Fprintln(w, "fit) and notes the resulting inspector communication.")
+}
+
+// sweepMemory is the §9 capacity sweep: the per-processor table budget
+// is swept across the replicated/distributed/paged crossover for a
+// whole-table working set (moldyn) and a localized one (banded spmv),
+// and then the moldyn anecdote is run twice and asserted — at the
+// paper-scale budget the policy must reject the replicated table and
+// the distributed-table inspector traffic must land in the 85 MB /
+// 878-message regime, bit-identically.
+func sweepMemory(w io.Writer, n, procs int) error {
+	fmt.Fprintf(w, "S9: memory budget vs translation-table organization (%d procs)\n\n", procs)
+
+	fmt.Fprintf(w, "moldyn N=%d (whole-table working set)\n", n)
+	fmt.Fprintf(w, "%14s%16s%14s%14s%14s\n", "budget (KB)", "plan", "ttable msgs", "ttable (MB)", "peak/proc KB")
+	moldynWork := mem.TablePages(n)
+	for _, budget := range memBudgets(n, procs, moldynWork) {
+		plan := mem.PlanTable(budget, n, procs, moldynWork)
+		p := moldyn.DefaultParams(n, procs)
+		p.TableKind = plan.Kind
+		p.TableCachePages = plan.CachePages
+		r := moldyn.RunChaos(moldyn.Generate(p))
+		fmt.Fprintf(w, "%14d%16s%14d%14.2f%14.1f\n",
+			budget>>10, plan, int64(r.Detail["msgs.chaos.ttable"]),
+			r.Detail["mb.chaos.ttable"], r.MaxPeakMB()*1e3)
+	}
+
+	// spmv's inspector runs once, before the timed window, so the
+	// columns here are storage, not traffic: the charged table bytes
+	// track the budget as the cache bound shrinks.
+	sn := 4 * n
+	fmt.Fprintf(w, "\nspmv N=%d, banded (localized working set)\n", sn)
+	fmt.Fprintf(w, "%14s%16s%14s%14s\n", "budget (KB)", "plan", "table KB/proc", "peak/proc KB")
+	sp := spmv.DefaultParams(sn, procs)
+	sp.FarPerRow = 0
+	spmvWork := sp.WorkTablePages()
+	for _, budget := range memBudgets(sn, procs, spmvWork) {
+		plan := mem.PlanTable(budget, sn, procs, spmvWork)
+		p := sp
+		p.TableKind = plan.Kind
+		p.TableCachePages = plan.CachePages
+		r := spmv.RunChaos(spmv.Generate(p))
+		fmt.Fprintf(w, "%14d%16s%14.1f%14.1f\n",
+			budget>>10, plan, float64(r.MemCat(chaos.MemCatTable).PeakBytes)/1e3,
+			r.MaxPeakMB()*1e3)
+	}
+	fmt.Fprintln(w, "\nShrinking the budget forces replicated -> (paged, if the working set")
+	fmt.Fprintln(w, "fits) -> distributed; a cache below the working set would thrash, so")
+	fmt.Fprintln(w, "the policy degrades straight to the segment-only table.")
+
+	// The anecdote, run twice: the assertion and the bit-identity are
+	// both part of the sweep's contract.
+	rep, err := bench.RunMemAnecdote()
+	if err != nil {
+		return err
+	}
+	rep2, err := bench.RunMemAnecdote()
+	if err != nil {
+		return err
+	}
+	if *rep != *rep2 {
+		return fmt.Errorf("anecdote not byte-identical across runs: %+v vs %+v", rep, rep2)
+	}
+	p := bench.MoldynAnecdoteParams()
+	fmt.Fprintf(w, "\nThe moldyn anecdote (asserted, run twice, bit-identical):\n")
+	fmt.Fprintf(w, "  N=%d, %d procs, %d steps, list updated every %d; table budget %d KB/proc\n",
+		p.N, p.Procs, p.Steps, p.UpdateEvery, mem.PaperTableBudget>>10)
+	fmt.Fprintf(w, "  policy: replicated table (%d KB) rejected -> %s\n",
+		mem.ReplicatedBytes(p.N)>>10, rep.Plan)
+	fmt.Fprintf(w, "  inspector translation traffic: %.1f MB in %d messages (paper: 85 MB in 878)\n",
+		float64(rep.TtableBytes)/1e6, rep.TtableMsgs)
+	fmt.Fprintf(w, "  peak footprint %.1f KB/proc, simulated time %.1f s\n", rep.PeakKB, rep.TimeSec)
+	return nil
+}
+
+// memBudgets returns table budgets spanning the organization crossover
+// for an n-entry table with the given working set: comfortably above
+// the replicated table, just below it, at the paged working set (if it
+// is below replication), and at the bare segment.
+func memBudgets(n, procs, workPages int) []int64 {
+	repl := mem.ReplicatedBytes(n)
+	seg := mem.SegmentBytes(n, procs)
+	budgets := []int64{repl + (8 << 10), repl - 1}
+	if paged := seg + int64(workPages)*mem.TablePageBytes; paged < repl {
+		budgets = append(budgets, paged)
+	}
+	return append(budgets, seg)
 }
 
 func mustEqual(a, b *apps.Result) {

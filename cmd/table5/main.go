@@ -1,0 +1,74 @@
+// Command table5 prints the simulated memory-capacity table (DESIGN.md
+// §9): per-processor footprint high-water marks for every system —
+// TreadMarks page copies, twins, diffs, and the notice board; CHAOS
+// data/ghost arrays, schedules, inspector hash tables, and translation
+// tables — plus the translation-table organization the capacity policy
+// selected under the per-processor table budget. The default budget is
+// chosen so the three CHAOS organizations all appear: moldyn's small
+// table still replicates, nbf's no longer fits and is forced to the
+// distributed segment, and spmv's banded working set makes the bounded
+// paged cache worthwhile.
+//
+//	go run ./cmd/table5 [-procs 8] [-n 512] [-nbf 2048] [-spmv 4096] [-budget 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+)
+
+// params names one full table5 rendering; the CI-size instance is
+// golden-diffed in main_test.go.
+type params struct {
+	procs, budgetKB      int
+	moldynN, nbfN, spmvN int
+	moldynSteps, steps   int
+}
+
+func run(w io.Writer, p params) error {
+	specs := []bench.MemSpec{
+		{App: "moldyn", Label: fmt.Sprintf("moldyn, %d mol", p.moldynN),
+			Cfg: apps.Config{N: p.moldynN, Steps: p.moldynSteps}},
+		{App: "nbf", Label: fmt.Sprintf("nbf, %d mol", p.nbfN),
+			Cfg: apps.Config{N: p.nbfN, Steps: p.steps}.WithKnob("partners", 40)},
+		// far_per_row 0: the pure-banded matrix whose localized working
+		// set is what the paged organization exists for.
+		{App: "spmv", Label: fmt.Sprintf("spmv, %d rows", p.spmvN),
+			Cfg: apps.Config{N: p.spmvN, Steps: p.steps}.WithKnob("far_per_row", 0)},
+	}
+	tbl, all, err := bench.Table5(specs, p.budgetKB, p.procs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	fmt.Fprintln(w)
+	for _, r := range all {
+		fmt.Fprintf(w, "%-28s CHAOS table: %-18s CHAOS peak %7.1f KB/proc, Tmk opt peak %7.1f KB/proc\n",
+			r.Config, r.Chaos.TableOrg, r.Chaos.MaxPeakMB()*1e3, r.Opt.MaxPeakMB()*1e3)
+	}
+	return nil
+}
+
+func main() {
+	procs := flag.Int("procs", 8, "simulated processors")
+	moldynN := flag.Int("n", 512, "moldyn molecules")
+	nbfN := flag.Int("nbf", 2048, "nbf molecules")
+	spmvN := flag.Int("spmv", 4096, "spmv matrix rows")
+	budget := flag.Int("budget", 12, "per-proc translation-table budget in KB (0 = no budget)")
+	moldynSteps := flag.Int("moldyn-steps", 10, "moldyn timed steps")
+	steps := flag.Int("steps", 4, "nbf/spmv timed steps")
+	flag.Parse()
+
+	if err := run(os.Stdout, params{procs: *procs, budgetKB: *budget,
+		moldynN: *moldynN, nbfN: *nbfN, spmvN: *spmvN,
+		moldynSteps: *moldynSteps, steps: *steps}); err != nil {
+		fmt.Fprintln(os.Stderr, "table5:", err)
+		os.Exit(1)
+	}
+}

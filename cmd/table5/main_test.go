@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/golden"
+	"repro/internal/raceflag"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden fixture")
+
+// ciParams is the CI-size rendering, matching the determinism leg's
+// `table5` invocation (defaults).
+var ciParams = params{procs: 8, budgetKB: 12, moldynN: 512, nbfN: 2048, spmvN: 4096,
+	moldynSteps: 10, steps: 4}
+
+func TestGolden(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("golden render skipped under -race (see internal/raceflag)")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, ciParams); err != nil {
+		t.Fatal(err)
+	}
+	golden.Check(t, buf.Bytes(), "testdata/table5.golden", *update)
+}
+
+// TestPolicySelectsAllThreeOrganizations asserts the table's point on
+// its rendered output: under the default budget the capacity policy
+// lands each app on a different organization — moldyn's table still
+// replicates, nbf's is forced to the distributed segment, spmv's
+// banded working set earns the bounded paged cache.
+func TestPolicySelectsAllThreeOrganizations(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("golden render skipped under -race (see internal/raceflag)")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, ciParams); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for app, org := range map[string]string{
+		"moldyn": "replicated", "nbf": "distributed", "spmv": "paged",
+	} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "CHAOS table:") && strings.Contains(line, app) &&
+				strings.Contains(line, org) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected %s to run the %s table under the default budget", app, org)
+		}
+	}
+	// TMK rows must report page-copy footprints; CHAOS rows table storage.
+	if !strings.Contains(out, "Tmk base") {
+		t.Fatal("missing TMK rows")
+	}
+}

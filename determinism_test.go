@@ -16,6 +16,8 @@ import (
 	"repro/internal/apps/spmv"
 	"repro/internal/apps/taskq"
 	"repro/internal/apps/tsp"
+	"repro/internal/bench"
+	"repro/internal/raceflag"
 )
 
 // triple is the exact-comparison record: raw float64 bits for the time
@@ -59,6 +61,24 @@ func stress(t *testing.T, name string, runs int, run func() *apps.Result) {
 		for k, v := range ref.Locks {
 			if r.Locks[k] != v {
 				t.Errorf("%s run %d: lock cell %+v = %+v != reference %+v", name, i, k, r.Locks[k], v)
+				return
+			}
+		}
+		// The footprint report — every (category, proc) cell and the
+		// per-processor peaks — is byte-identical too (DESIGN.md §9).
+		if len(r.Mem) != len(ref.Mem) {
+			t.Errorf("%s run %d: %d mem cells != reference %d", name, i, len(r.Mem), len(ref.Mem))
+			return
+		}
+		for k, v := range ref.Mem {
+			if r.Mem[k] != v {
+				t.Errorf("%s run %d: mem cell %+v = %+v != reference %+v", name, i, k, r.Mem[k], v)
+				return
+			}
+		}
+		for pi, v := range ref.MemPeak {
+			if r.MemPeak[pi] != v {
+				t.Errorf("%s run %d: proc %d footprint %+v != reference %+v", name, i, pi, r.MemPeak[pi], v)
 				return
 			}
 		}
@@ -116,6 +136,37 @@ func TestTaskqByteIdenticalAcrossRuns(t *testing.T) {
 		stress(t, tag("tmk-batch"), 4, func() *apps.Result {
 			return taskq.RunTmk(w, taskq.TmkOptions{Batched: true})
 		})
+	}
+}
+
+// TestMoldynMemAnecdote is the acceptance test for the §9 ablation:
+// under the paper-scale per-processor table budget the capacity policy
+// must reject the replicated table, the forced distributed table's
+// inspector traffic must land in the 85 MB / 878-message regime, and
+// the whole report must be bit-identical across N runs. (RunMemAnecdote
+// itself errors when the policy or the traffic bands are violated.)
+func TestMoldynMemAnecdote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anecdote run is a full CHAOS execution; skipped with -short")
+	}
+	runs := 3
+	if raceflag.Enabled {
+		runs = 2 // the race detector makes each run ~10x slower
+	}
+	ref, err := bench.RunMemAnecdote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("anecdote: plan %v, %.1f MB in %d messages, peak %.1f KB/proc",
+		ref.Plan, float64(ref.TtableBytes)/1e6, ref.TtableMsgs, ref.PeakKB)
+	for i := 1; i < runs; i++ {
+		r, err := bench.RunMemAnecdote()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *r != *ref {
+			t.Fatalf("run %d: %+v != reference %+v", i, r, ref)
+		}
 	}
 }
 

@@ -26,6 +26,18 @@ const Grid = 1 << 16
 // exact.
 const Dt = 1.0 / (1 << 12)
 
+// sim.MemStats categories charged by the application backends.
+// Protocol-layer categories live next to their charge sites
+// (tmk.MemCatPages/Twins/Diffs/Board, chaos.MemCatTable/Sched/
+// Inspector); these are the app-owned ones, named here so charge and
+// report sites cannot drift apart by a typo.
+const (
+	MemCatData    = "chaos.data"    // local data + ghost regions
+	MemCatReplica = "chaos.replica" // replicated coordinate copies
+	MemCatPairs   = "chaos.pairs"   // pair/iteration lists
+	MemCatPrivate = "tmk.private"   // private accumulation arrays
+)
+
 // PageRound rounds b up to a multiple of the page size ps — the arena
 // sizing helper every DSM backend uses.
 func PageRound(b, ps int) int {
@@ -77,6 +89,17 @@ type Result struct {
 	// Measure.LockStats by the lock-based workloads.
 	Locks map[sim.LockKey]sim.LockStat
 
+	// Mem is the simulated-memory ledger at the window's end (nil for
+	// the sequential backend, which runs on no cluster), and MemPeak the
+	// per-processor footprint totals. Filled from Measure.MemStats.
+	Mem     map[sim.MemKey]sim.MemStat
+	MemPeak []sim.MemStat
+
+	// TableOrg names the translation-table organization a CHAOS backend
+	// ran with ("" for the other systems) — the column the memory table
+	// and the capacity policy are about.
+	TableOrg string
+
 	// Final state for verification (global element order).
 	Forces []float64
 	X      []float64
@@ -101,6 +124,43 @@ func (r *Result) SetLockStats(locks map[sim.LockKey]sim.LockStat) {
 	r.AddDetail("lock_wait_s", t.WaitUS/1e6)
 	r.AddDetail("lock_hold_s", t.HoldUS/1e6)
 	r.AddDetail("lock_grant_kb", float64(t.GrantBytes)/1e3)
+}
+
+// SetMemStats stores the window's memory ledger and per-processor
+// footprint totals (kept off Detail so the traffic tables' output is
+// unchanged; cmd/table5 reads these fields directly).
+func (r *Result) SetMemStats(snap map[sim.MemKey]sim.MemStat, peaks []sim.MemStat) {
+	r.Mem = snap
+	r.MemPeak = peaks
+}
+
+// MaxPeakMB returns the largest per-processor footprint high-water mark
+// in megabytes (zero for the sequential backend).
+func (r *Result) MaxPeakMB() float64 {
+	max := int64(0)
+	for _, p := range r.MemPeak {
+		if p.PeakBytes > max {
+			max = p.PeakBytes
+		}
+	}
+	return float64(max) / 1e6
+}
+
+// MemCat merges one ledger category over processors: the largest
+// per-processor peak (the binding number under a per-processor budget)
+// and the summed current bytes.
+func (r *Result) MemCat(cat string) sim.MemStat {
+	var out sim.MemStat
+	for k, v := range r.Mem {
+		if k.Cat != cat {
+			continue
+		}
+		out.CurBytes += v.CurBytes
+		if v.PeakBytes > out.PeakBytes {
+			out.PeakBytes = v.PeakBytes
+		}
+	}
+	return out
 }
 
 // AddDetail accumulates a named detail value.
@@ -145,6 +205,8 @@ type Measure struct {
 	endCats   map[string]sim.CatStat
 	startSync map[sim.LockKey]sim.LockStat
 	endSync   map[sim.LockKey]sim.LockStat
+	endMem    map[sim.MemKey]sim.MemStat
+	endMemPk  []sim.MemStat
 }
 
 // NewMeasure prepares a measurement window over the cluster.
@@ -179,6 +241,8 @@ func (m *Measure) End(p *sim.Proc) {
 	p.BarrierExchange(m.endID, nil, 0, func(contrib []any) ([]any, []int, float64) {
 		m.endCats = m.c.Stats.Categories()
 		m.endSync = m.c.Sync.Snapshot()
+		m.endMem = m.c.Mem.Snapshot()
+		m.endMemPk, _ = m.c.Mem.ProcPeaks()
 		for i := 0; i < m.c.NProcs(); i++ {
 			m.endTime[i] = m.c.Proc(i).Time()
 		}
@@ -212,6 +276,16 @@ func (m *Measure) Traffic() (msgs int64, dataMB float64) {
 // within the window.
 func (m *Measure) LockStats() map[sim.LockKey]sim.LockStat {
 	return sim.SubSnapshots(m.endSync, m.startSync)
+}
+
+// MemStats returns the simulated-memory ledger snapshotted inside the
+// End barrier (quiescent, hence consistent) plus the per-processor
+// footprint totals. Unlike traffic, footprints are ledger state rather
+// than flows — the snapshot deliberately includes memory allocated
+// before Start, because the arrays set up during initialization are
+// resident throughout the window.
+func (m *Measure) MemStats() (map[sim.MemKey]sim.MemStat, []sim.MemStat) {
+	return m.endMem, m.endMemPk
 }
 
 // Categories returns the per-category traffic within the window.

@@ -21,9 +21,10 @@ func RunChaos(w *Workload) *apps.Result {
 	icost := p.Inspector
 	ecost := chaos.DefaultExecutorCost()
 
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.simConfig())
 	part := chaos.RCB(Coords(w.X0), nprocs)
 	tt := chaos.NewTransTable(part, p.TableKind)
+	tt.CachePages = p.TableCachePages
 	counts := part.Counts()
 
 	// ownGlobals[p] lists the globals proc p owns, in local-offset order.
@@ -36,7 +37,7 @@ func RunChaos(w *Workload) *apps.Result {
 	initPairs, _ := BuildPairs(&p, w.L, w.X0)
 	initSorted, initStarts := PartitionPairs(initPairs, part)
 
-	res := &apps.Result{System: "chaos"}
+	res := &apps.Result{System: "chaos", TableOrg: p.TableKind.String()}
 	meas := apps.NewMeasure(cl)
 	inspectorSec := make([]float64, nprocs)
 
@@ -47,16 +48,20 @@ func RunChaos(w *Workload) *apps.Result {
 	cl.Run(func(proc *sim.Proc) {
 		me := proc.ID()
 		own := counts[me]
+		mem := &cl.Mem
 		meas.Start(proc)
 
 		// Working state: current pair section and local arrays.
 		pairs := initSorted[initStarts[me]:initStarts[me+1]]
+		mem.Alloc(me, apps.MemCatPairs, int64(8*len(pairs)))
 		// xGlob is this proc's replicated coordinate copy, refreshed at
 		// every rebuild (allgather) and used only to rebuild the list.
 		xGlob := append([]float64(nil), w.X0...)
+		mem.Alloc(me, apps.MemCatReplica, int64(8*len(xGlob)))
 
 		var sch *chaos.Schedule
 		var xLoc, fLoc []float64
+		var dataBytes int64
 		tag := 0
 
 		runInspector := func() {
@@ -65,8 +70,14 @@ func RunChaos(w *Workload) *apps.Result {
 			for _, pr := range pairs {
 				globals = append(globals, int(pr[0]), int(pr[1]))
 			}
+			if sch != nil {
+				sch.ReleaseMem(proc) // replaced by the re-run below
+			}
 			sch = chaos.Inspect(proc, tag, globals, tt, icost)
 			slots := own + sch.Ghosts
+			mem.Free(me, apps.MemCatData, dataBytes)
+			dataBytes = int64(2 * 8 * 3 * slots) // xLoc + fLoc
+			mem.Alloc(me, apps.MemCatData, dataBytes)
 			xLoc = make([]float64, 3*slots)
 			fLoc = make([]float64, 3*slots)
 			// Fill owned coordinates from the replicated copy.
@@ -90,7 +101,9 @@ func RunChaos(w *Workload) *apps.Result {
 				myPairs, checks := BuildPairsStrided(&p, w.L, xGlob, nprocs, me)
 				proc.Advance(cost.RebuildUSPerCheck * float64(checks))
 				tag++
+				mem.Free(me, apps.MemCatPairs, int64(8*len(pairs)))
 				pairs = exchangePairs(proc, tag, BucketPairsByOwner(myPairs, part))
+				mem.Alloc(me, apps.MemCatPairs, int64(8*len(pairs)))
 				tag++
 				runInspector()
 			}
@@ -137,10 +150,17 @@ func RunChaos(w *Workload) *apps.Result {
 		meas.End(proc)
 		finalX[me] = xLoc[:3*own]
 		finalF[me] = fLoc[:3*own]
+		// Teardown: return the app-level charges so the ledger balances.
+		mem.Free(me, apps.MemCatData, dataBytes)
+		mem.Free(me, apps.MemCatPairs, int64(8*len(pairs)))
+		mem.Free(me, apps.MemCatReplica, int64(8*len(xGlob)))
+		sch.ReleaseMem(proc)
 	})
+	tt.ReleaseMem(cl)
 
 	res.TimeSec = meas.TimeSec()
 	res.Messages, res.DataMB = meas.Traffic()
+	res.SetMemStats(meas.MemStats())
 	for k, v := range meas.Categories() {
 		res.AddDetail("msgs."+k, float64(v.Messages))
 		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)

@@ -44,7 +44,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 	n := p.N
 	cost := p.Costs
 
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.simConfig())
 	// Capacity for the shared interaction list: the pair count drifts as
 	// molecules move; 1.5x the initial count plus slack covers it.
 	initPairs, _ := BuildPairs(&p, w.L, w.X0)
@@ -94,6 +94,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 		meas.Start(proc)
 
 		lf := make([]float64, 3*n) // private local_forces (full size; §5.1)
+		cl.Mem.Alloc(me, apps.MemCatPrivate, int64(8*len(lf)))
 		mlo, mhi := chaos.BlockRange(n, nprocs, me)
 
 		redAccess := func(s int) core.AccessType {
@@ -204,10 +205,12 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 			node.Barrier(barIntegrate)
 		}
 		meas.End(proc)
+		cl.Mem.Free(me, apps.MemCatPrivate, int64(8*len(lf)))
 	})
 
 	res.TimeSec = meas.TimeSec()
 	res.Messages, res.DataMB = meas.Traffic()
+	res.SetMemStats(meas.MemStats())
 	for k, v := range meas.Categories() {
 		res.AddDetail("msgs."+k, float64(v.Messages))
 		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)
@@ -222,6 +225,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 
 	// Collect the final state for verification (outside the window).
 	res.X, res.Forces = collectShared(d, xArr, fArr, n)
+	d.Close()
 	return res
 }
 

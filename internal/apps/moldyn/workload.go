@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/chaos"
+	"repro/internal/sim"
 )
 
 // Costs is the compute-cost model (microseconds), shared by all
@@ -56,7 +57,16 @@ type Params struct {
 	Seed        int64
 	PageSize    int
 	TableKind   chaos.TableKind // translation-table organization for CHAOS
-	CellRebuild bool            // use an O(N) cell grid instead of the paper-era O(N^2) rebuild
+	// TableCachePages bounds the Paged table's per-processor cache
+	// (chaos.TransTable.CachePages); 0 = unbounded. Set by the memory
+	// capacity policy (internal/mem) when a budget is in force.
+	TableCachePages int
+	// MaxMsgB overrides the simulated machine's fragmentation threshold
+	// (0 = sim.DefaultConfig). The memory ablation's anecdote run uses a
+	// large value: the measured CHAOS program's bulk inspector exchanges
+	// were not fragmented at the paper's message-count granularity.
+	MaxMsgB     int
+	CellRebuild bool // use an O(N) cell grid instead of the paper-era O(N^2) rebuild
 	Costs       Costs
 	// Inspector is the CHAOS inspector cost model, calibrated so one
 	// inspector execution costs the paper's ~7-9 step-times per
@@ -307,6 +317,16 @@ func ownerOfPair(pr [2]int32, part *chaos.Partition) int {
 // followed by re-quantization and periodic wrap.
 func integrate(x, f, drift, l float64) float64 {
 	return apps.Wrap(apps.Q(x+apps.Dt*f+drift), l)
+}
+
+// simConfig returns the simulated-machine description for this
+// workload: the SP2 default with the workload's overrides applied.
+func (p *Params) simConfig() sim.Config {
+	cfg := sim.DefaultConfig(p.Procs)
+	if p.MaxMsgB > 0 {
+		cfg.MaxMsgB = p.MaxMsgB
+	}
+	return cfg
 }
 
 // String summarizes the workload.

@@ -22,9 +22,10 @@ func RunChaos(w *Workload) *apps.Result {
 	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
 	part := chaos.Block(n, nprocs)
 	tt := chaos.NewTransTable(part, p.TableKind)
+	tt.CachePages = p.TableCachePages
 	counts := part.Counts()
 
-	res := &apps.Result{System: "chaos"}
+	res := &apps.Result{System: "chaos", TableOrg: p.TableKind.String()}
 	meas := apps.NewMeasure(cl)
 	inspectorSec := make([]float64, nprocs)
 	finalX := make([][]float64, nprocs)
@@ -48,6 +49,7 @@ func RunChaos(w *Workload) *apps.Result {
 		inspectorSec[me] = (proc.Clock() - t0) / 1e6
 
 		slots := own + sch.Ghosts
+		cl.Mem.Alloc(me, apps.MemCatData, int64(2*8*slots)) // xLoc + fLoc
 		xLoc := make([]float64, slots)
 		fLoc := make([]float64, slots)
 		for i := mlo; i < mhi; i++ {
@@ -88,10 +90,14 @@ func RunChaos(w *Workload) *apps.Result {
 		meas.End(proc)
 		finalX[me] = xLoc[:own]
 		finalF[me] = fLoc[:own]
+		cl.Mem.Free(me, apps.MemCatData, int64(2*8*slots))
+		sch.ReleaseMem(proc)
 	})
+	tt.ReleaseMem(cl)
 
 	res.TimeSec = meas.TimeSec()
 	res.Messages, res.DataMB = meas.Traffic()
+	res.SetMemStats(meas.MemStats())
 	for k, v := range meas.Categories() {
 		res.AddDetail("msgs."+k, float64(v.Messages))
 		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)

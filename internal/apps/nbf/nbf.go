@@ -49,7 +49,10 @@ type Params struct {
 	Seed      int64
 	PageSize  int
 	TableKind chaos.TableKind
-	Costs     Costs
+	// TableCachePages bounds the Paged table's per-processor cache
+	// (0 = unbounded); set by the memory capacity policy.
+	TableCachePages int
+	Costs           Costs
 	// Inspector is the CHAOS inspector cost model (calibrated to the
 	// paper's 7.3 s single-processor / 5.2 s 8-processor inspector).
 	Inspector chaos.InspectorCost

@@ -3,7 +3,10 @@
 // length Table 2 uses).
 package nbf
 
-import "repro/internal/apps"
+import (
+	"repro/internal/apps"
+	"repro/internal/mem"
+)
 
 // App adapts a generated nbf workload to the registry interface.
 type App struct{ W *Workload }
@@ -29,6 +32,18 @@ func init() {
 		cfg.ApplyCommon(&p.Steps, &p.Seed)
 		p.Partners = cfg.Knob("partners", p.Partners)
 		p.PageSize = cfg.Knob("page_size", p.PageSize)
+		if kb := cfg.Knob("table_budget_kb", 0); kb > 0 {
+			// A processor's partner references span its own block plus
+			// Spread of the index space beyond it (partner offsets are
+			// one-sided: j = (i + off) mod N with off in [1, Spread*N]).
+			span := (cfg.N+cfg.Procs-1)/cfg.Procs + int(p.Spread*float64(cfg.N))
+			if span > cfg.N {
+				span = cfg.N
+			}
+			plan := mem.PlanTable(int64(kb)<<10, cfg.N, cfg.Procs, mem.TablePages(span))
+			p.TableKind = plan.Kind
+			p.TableCachePages = plan.CachePages
+		}
 		return App{W: Generate(p)}
-	}, "partners", "page_size")
+	}, "partners", "page_size", "table_budget_kb")
 }

@@ -76,6 +76,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 			rt.NoAggregation = opt.NoAggregation
 		}
 		lf := make([]float64, n)
+		cl.Mem.Alloc(me, apps.MemCatPrivate, int64(8*len(lf)))
 		mlo, mhi := chaos.BlockRange(n, nprocs, me)
 
 		redAccess := func(s int) core.AccessType {
@@ -164,10 +165,12 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 			node.Barrier(barIntegrate)
 		}
 		meas.End(proc)
+		cl.Mem.Free(me, apps.MemCatPrivate, int64(8*len(lf)))
 	})
 
 	res.TimeSec = meas.TimeSec()
 	res.Messages, res.DataMB = meas.Traffic()
+	res.SetMemStats(meas.MemStats())
 	for k, v := range meas.Categories() {
 		res.AddDetail("msgs."+k, float64(v.Messages))
 		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)
@@ -188,5 +191,6 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 		res.X[i] = s.ReadF64(xArr.Addr(i))
 		res.Forces[i] = s.ReadF64(fArr.Addr(i))
 	}
+	d.Close()
 	return res
 }

@@ -23,9 +23,10 @@ func RunChaos(w *Workload) *apps.Result {
 	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
 	part := chaos.Block(n, nprocs)
 	tt := chaos.NewTransTable(part, p.TableKind)
+	tt.CachePages = p.TableCachePages
 	counts := part.Counts()
 
-	res := &apps.Result{System: "chaos"}
+	res := &apps.Result{System: "chaos", TableOrg: p.TableKind.String()}
 	meas := apps.NewMeasure(cl)
 	inspectorSec := make([]float64, nprocs)
 	finalX := make([][]float64, nprocs)
@@ -50,6 +51,7 @@ func RunChaos(w *Workload) *apps.Result {
 		sch := chaos.Inspect(proc, 0, globals, tt, icost)
 		inspectorSec[me] = (proc.Clock() - t0) / 1e6
 
+		cl.Mem.Alloc(me, apps.MemCatData, int64(8*(2*own+sch.Ghosts))) // xLoc + yLoc
 		xLoc := make([]float64, own+sch.Ghosts)
 		yLoc := make([]float64, own)
 		for i := rlo; i < rhi; i++ {
@@ -79,10 +81,14 @@ func RunChaos(w *Workload) *apps.Result {
 		meas.End(proc)
 		finalX[me] = xLoc[:own]
 		finalY[me] = yLoc
+		cl.Mem.Free(me, apps.MemCatData, int64(8*(2*own+sch.Ghosts)))
+		sch.ReleaseMem(proc)
 	})
+	tt.ReleaseMem(cl)
 
 	res.TimeSec = meas.TimeSec()
 	res.Messages, res.DataMB = meas.Traffic()
+	res.SetMemStats(meas.MemStats())
 	for k, v := range meas.Categories() {
 		res.AddDetail("msgs."+k, float64(v.Messages))
 		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)

@@ -2,7 +2,10 @@
 // nonzeros per row).
 package spmv
 
-import "repro/internal/apps"
+import (
+	"repro/internal/apps"
+	"repro/internal/mem"
+)
 
 // App adapts a generated spmv workload to the registry interface.
 type App struct{ W *Workload }
@@ -28,6 +31,12 @@ func init() {
 		cfg.ApplyCommon(&p.Steps, &p.Seed)
 		p.NNZRow = cfg.Knob("nnz_row", p.NNZRow)
 		p.PageSize = cfg.Knob("page_size", p.PageSize)
+		p.FarPerRow = cfg.Knob("far_per_row", p.FarPerRow)
+		if kb := cfg.Knob("table_budget_kb", 0); kb > 0 {
+			plan := mem.PlanTable(int64(kb)<<10, cfg.N, cfg.Procs, p.WorkTablePages())
+			p.TableKind = plan.Kind
+			p.TableCachePages = plan.CachePages
+		}
 		return App{W: Generate(p)}
-	}, "nnz_row", "page_size")
+	}, "nnz_row", "page_size", "far_per_row", "table_budget_kb")
 }

@@ -48,8 +48,27 @@ type Params struct {
 	Seed      int64
 	PageSize  int
 	TableKind chaos.TableKind
-	Costs     Costs
-	Inspector chaos.InspectorCost
+	// TableCachePages bounds the Paged table's per-processor cache
+	// (0 = unbounded); set by the memory capacity policy.
+	TableCachePages int
+	Costs           Costs
+	Inspector       chaos.InspectorCost
+}
+
+// WorkTablePages estimates the translation-table pages one processor's
+// column references touch: the whole table when any far columns exist
+// (they are uniform over the matrix), otherwise the owned block plus
+// the band on both sides — the localized shape that makes the Paged
+// organization worthwhile under a budget.
+func (p *Params) WorkTablePages() int {
+	if p.FarPerRow > 0 {
+		return (p.N + chaos.TablePageEntries - 1) / chaos.TablePageEntries
+	}
+	span := (p.N+p.Procs-1)/p.Procs + 2*p.Band
+	if span > p.N {
+		span = p.N
+	}
+	return (span + chaos.TablePageEntries - 1) / chaos.TablePageEntries
 }
 
 // defaultInspector is the calibrated CHAOS inspector cost model, shared

@@ -116,6 +116,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 
 	res.TimeSec = meas.TimeSec()
 	res.Messages, res.DataMB = meas.Traffic()
+	res.SetMemStats(meas.MemStats())
 	for k, v := range meas.Categories() {
 		res.AddDetail("msgs."+k, float64(v.Messages))
 		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)
@@ -136,5 +137,6 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 		res.X[i] = s.ReadF64(xArr.Addr(i))
 		res.Forces[i] = s.ReadF64(yArr.Addr(i))
 	}
+	d.Close()
 	return res
 }

@@ -82,5 +82,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)
 	}
 	res.SetLockStats(meas.LockStats())
+	res.SetMemStats(meas.MemStats())
+	d.Close()
 	return res
 }

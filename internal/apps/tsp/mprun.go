@@ -77,6 +77,7 @@ func RunMP(w *Workload) *apps.Result {
 	res := resultOf("mp", master.bestCost, master.bestTour)
 	res.TimeSec = meas.TimeSec()
 	res.Messages, res.DataMB = meas.Traffic()
+	res.SetMemStats(meas.MemStats())
 	for k, v := range meas.Categories() {
 		res.AddDetail("msgs."+k, float64(v.Messages))
 		res.AddDetail("mb."+k, float64(v.Bytes)/1e6)

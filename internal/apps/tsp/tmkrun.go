@@ -140,5 +140,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 	}
 	res.AddDetail("nodes", float64(nodes))
 	res.SetLockStats(meas.LockStats())
+	res.SetMemStats(meas.MemStats())
+	d.Close()
 	return res
 }

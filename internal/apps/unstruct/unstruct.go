@@ -338,6 +338,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 
 	res.TimeSec = meas.TimeSec()
 	res.Messages, res.DataMB = meas.Traffic()
+	res.SetMemStats(meas.MemStats())
 	s := d.Node(0).Space()
 	res.X = make([]float64, n)
 	res.Forces = make([]float64, n)
@@ -345,6 +346,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 		res.X[i] = s.ReadF64(xArr.Addr(i))
 		res.Forces[i] = s.ReadF64(yArr.Addr(i))
 	}
+	d.Close()
 	return res
 }
 
@@ -367,7 +369,7 @@ func RunChaos(w *Workload) *apps.Result {
 		ownGlobals[part.Owner[g]] = append(ownGlobals[part.Owner[g]], g)
 	}
 
-	res := &apps.Result{System: "chaos"}
+	res := &apps.Result{System: "chaos", TableOrg: chaos.Replicated.String()}
 	meas := apps.NewMeasure(cl)
 	inspectorSec := make([]float64, nprocs)
 	finalX := make([][]float64, nprocs)
@@ -387,6 +389,7 @@ func RunChaos(w *Workload) *apps.Result {
 		inspectorSec[me] = (proc.Clock() - t0) / 1e6
 
 		slots := own + sch.Ghosts
+		cl.Mem.Alloc(me, apps.MemCatData, int64(2*8*slots)) // xLoc + yLoc
 		xLoc := make([]float64, slots)
 		yLoc := make([]float64, slots)
 		for _, g := range ownGlobals[me] {
@@ -422,10 +425,14 @@ func RunChaos(w *Workload) *apps.Result {
 		meas.End(proc)
 		finalX[me] = xLoc[:own]
 		finalY[me] = yLoc[:own]
+		cl.Mem.Free(me, apps.MemCatData, int64(2*8*slots))
+		sch.ReleaseMem(proc)
 	})
+	tt.ReleaseMem(cl)
 
 	res.TimeSec = meas.TimeSec()
 	res.Messages, res.DataMB = meas.Traffic()
+	res.SetMemStats(meas.MemStats())
 	worst := 0.0
 	for _, s := range inspectorSec {
 		if s > worst {

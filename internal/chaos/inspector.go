@@ -41,6 +41,30 @@ type Schedule struct {
 	localOf []int32
 }
 
+// MemCatSched is the sim.MemStats category for retained schedule
+// storage; MemCatInspector covers the inspector's transient hash table.
+const (
+	MemCatSched     = "chaos.sched"
+	MemCatInspector = "chaos.inspector"
+)
+
+// MemBytes returns the modeled storage of the schedule: the global→
+// local map plus the per-peer receive/slot/send lists (4 bytes per
+// entry each, like the int32s they hold).
+func (s *Schedule) MemBytes() int64 {
+	b := int64(4 * len(s.localOf))
+	for q := 0; q < s.NProcs; q++ {
+		b += int64(4 * (len(s.RecvFrom[q]) + len(s.RecvSlot[q]) + len(s.SendTo[q])))
+	}
+	return b
+}
+
+// ReleaseMem returns the schedule's storage charge to the ledger. Call
+// it when the schedule is replaced (a re-run inspector) or at teardown.
+func (s *Schedule) ReleaseMem(p *sim.Proc) {
+	p.Cluster().Mem.Free(p.ID(), MemCatSched, s.MemBytes())
+}
+
 // LocalOf returns the local slot of global element g, or -1.
 func (s *Schedule) LocalOf(g int) int32 { return s.localOf[g] }
 
@@ -96,7 +120,12 @@ func Inspect(p *sim.Proc, tag int, globals []int, tt *TransTable, cost Inspector
 
 	// Duplicate elimination via a hash table sized to the data array
 	// (§4: "a hash table whose size is proportional to the size of the
-	// data array is employed to eliminate duplicates").
+	// data array is employed to eliminate duplicates"). The table is
+	// exactly the transient allocation the paper's memory observation is
+	// about, so it is charged (and freed below) — the per-proc peak
+	// footprint sees it even though it does not outlive the inspector.
+	mem := &p.Cluster().Mem
+	mem.Alloc(me, MemCatInspector, int64(n))
 	seen := make([]bool, n)
 	distinct := make([]int, 0, len(globals))
 	for _, g := range globals {
@@ -152,6 +181,7 @@ func Inspect(p *sim.Proc, tag int, globals []int, tt *TransTable, cost Inspector
 	}
 	sch.Ghosts = int(ghost) - own
 	p.Advance(cost.BuildUSPerElem * float64(len(distinct)))
+	mem.Free(me, MemCatInspector, int64(n))
 
 	// Exchange send lists: q must learn which of its elements we want.
 	// One message per communicating pair, counted under "chaos.sched".
@@ -165,6 +195,9 @@ func Inspect(p *sim.Proc, tag int, globals []int, tt *TransTable, cost Inspector
 	p.RecvEach("chaos.sched", tag, nprocs-1, func(from int, payload any) {
 		sch.SendTo[from] = payload.(*reqMsg).wants
 	})
+	// Charge the retained schedule only now that the send lists are in
+	// (MemBytes must match what ReleaseMem will free).
+	mem.Alloc(me, MemCatSched, sch.MemBytes())
 	return sch
 }
 

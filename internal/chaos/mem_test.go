@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTableStorageChargedByKind: per-processor table storage lands on
+// the ledger at first lookup — the full table under Replicated, the
+// home segment otherwise.
+func TestTableStorageChargedByKind(t *testing.T) {
+	const n, np = 8192, 4
+	part := Block(n, np)
+	for _, kind := range []TableKind{Replicated, Distributed, Paged} {
+		c := sim.NewCluster(sim.DefaultConfig(np))
+		tt := NewTransTable(part, kind)
+		tt.LookupBatch(c.Proc(1), []int{0})
+		snap := c.Mem.Snapshot()
+		got := snap[sim.MemKey{Cat: MemCatTable, Proc: 1}].CurBytes
+		want := tt.StorageBytes(1)
+		if kind == Paged {
+			want += tt.pageBytes(0) // index 0's page was cached
+		}
+		if got != want {
+			t.Errorf("%v: charged %d bytes, want %d", kind, got, want)
+		}
+		// Second lookup must not double-charge the base storage.
+		tt.LookupBatch(c.Proc(1), []int{0})
+		if again := c.Mem.Snapshot()[sim.MemKey{Cat: MemCatTable, Proc: 1}].CurBytes; again != got {
+			t.Errorf("%v: re-lookup moved charge %d -> %d", kind, got, again)
+		}
+		tt.ReleaseMem(c)
+		if err := c.Mem.CheckBalanced(); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+// TestPagedCacheEviction: a bounded cache never charges more than its
+// bound, evicts FIFO, and the evicted page re-communicates.
+func TestPagedCacheEviction(t *testing.T) {
+	const n, np = 8192, 4 // 8 table pages, proc 0 owns pages 0-1
+	part := Block(n, np)
+	c := sim.NewCluster(sim.DefaultConfig(np))
+	tt := NewTransTable(part, Paged)
+	tt.CachePages = 2
+	p := c.Proc(0)
+
+	touch := func(page int) { tt.LookupBatch(p, []int{page * TablePageEntries}) }
+	touch(3)
+	touch(4)
+	touch(5) // evicts page 3
+	if tt.cached[0][3] {
+		t.Fatal("page 3 not evicted FIFO")
+	}
+	if !tt.cached[0][4] || !tt.cached[0][5] {
+		t.Fatal("wrong page evicted")
+	}
+	cur := c.Mem.Snapshot()[sim.MemKey{Cat: MemCatTable, Proc: 0}].CurBytes
+	if want := tt.StorageBytes(0) + 2*int64(TablePageBytesForTest()); cur != want {
+		t.Fatalf("charged %d, want %d (segment + 2 cached pages)", cur, want)
+	}
+
+	m1, _ := c.Stats.Totals()
+	touch(3) // cold again: must re-communicate (and evict page 4)
+	m2, _ := c.Stats.Totals()
+	if m2 == m1 {
+		t.Fatal("evicted page did not re-communicate")
+	}
+	tt.ReleaseMem(c)
+	if err := c.Mem.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TablePageBytesForTest exposes the full-page storage for tests without
+// importing internal/mem (which imports this package).
+func TablePageBytesForTest() int { return TablePageEntries * TableEntryBytes }
+
+// TestInspectorMemConservation: the hash table is transient (freed
+// inside Inspect but visible in the peak), the schedule is retained
+// until released, and teardown balances the ledger.
+func TestInspectorMemConservation(t *testing.T) {
+	const n, np = 4096, 4
+	part := Block(n, np)
+	c := sim.NewCluster(sim.DefaultConfig(np))
+	tt := NewTransTable(part, Distributed)
+	scheds := make([]*Schedule, np)
+	c.Run(func(p *sim.Proc) {
+		lo, hi := BlockRange(n, np, p.ID())
+		var globals []int
+		for i := lo; i < hi; i++ {
+			globals = append(globals, i, (i+37)%n)
+		}
+		scheds[p.ID()] = Inspect(p, 0, globals, tt, DefaultInspectorCost())
+	})
+	snap := c.Mem.Snapshot()
+	for pr := 0; pr < np; pr++ {
+		hash := snap[sim.MemKey{Cat: MemCatInspector, Proc: pr}]
+		if hash.CurBytes != 0 || hash.PeakBytes != int64(n) {
+			t.Errorf("proc %d: hash cell %+v, want cur 0 peak %d", pr, hash, n)
+		}
+		sched := snap[sim.MemKey{Cat: MemCatSched, Proc: pr}]
+		if sched.CurBytes != scheds[pr].MemBytes() || sched.CurBytes == 0 {
+			t.Errorf("proc %d: sched cell %+v, want cur %d", pr, sched, scheds[pr].MemBytes())
+		}
+	}
+	for pr, sch := range scheds {
+		sch.ReleaseMem(c.Proc(pr))
+	}
+	tt.ReleaseMem(c)
+	if err := c.Mem.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPagedEvictionDeterministic: the same lookup program produces the
+// same ledger and traffic regardless of which run it is.
+func TestPagedEvictionDeterministic(t *testing.T) {
+	const n, np = 8192, 4
+	part := Block(n, np)
+	run := func() (map[sim.MemKey]sim.MemStat, int64, int64) {
+		c := sim.NewCluster(sim.DefaultConfig(np))
+		tt := NewTransTable(part, Paged)
+		tt.CachePages = 3
+		c.Run(func(p *sim.Proc) {
+			for i := 0; i < 40; i++ {
+				g := ((p.ID()+1)*1777*i + i*i) % n
+				tt.LookupBatch(p, []int{g})
+			}
+		})
+		msgs, bytes := c.Stats.Totals()
+		return c.Mem.Snapshot(), msgs, bytes
+	}
+	refSnap, refMsgs, refBytes := run()
+	for i := 0; i < 3; i++ {
+		snap, msgs, bytes := run()
+		if msgs != refMsgs || bytes != refBytes {
+			t.Fatalf("run %d: traffic (%d, %d) != (%d, %d)", i, msgs, bytes, refMsgs, refBytes)
+		}
+		if !reflect.DeepEqual(snap, refSnap) {
+			t.Fatalf("run %d: mem snapshot diverged", i)
+		}
+	}
+}

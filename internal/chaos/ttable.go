@@ -6,6 +6,17 @@
 // inspector communicate — exactly the effect the paper observes on
 // moldyn, where memory pressure forced the distributed organization and
 // the inspector exchanged 85 MB in 878 messages.
+//
+// Per-processor table storage is charged to the simulated-memory ledger
+// (sim.MemStats, category "chaos.table"): the full table under
+// Replicated, the home segment under Distributed, and the segment plus
+// whatever pages are currently cached under Paged. The Paged cache can
+// be bounded (CachePages) to model a per-processor memory budget: fills
+// past the bound evict the oldest cached page (FIFO — deterministic,
+// since each processor's cache is touched only by its own goroutine in
+// program order), and the evicted page's re-fetch traffic flows through
+// the ordinary cost model below. internal/mem turns a byte budget into
+// the organization + bound choice.
 package chaos
 
 import (
@@ -25,7 +36,8 @@ const (
 	// segment owner.
 	Distributed
 	// Paged: like Distributed, but fetched table pages are cached, so
-	// only cold pages communicate.
+	// only cold pages communicate (and, with a bounded cache, evicted
+	// ones again).
 	Paged
 )
 
@@ -47,8 +59,16 @@ type Loc struct {
 	Off  int32
 }
 
-// tablePageEntries is the granularity of the Paged organization.
-const tablePageEntries = 1024
+// TablePageEntries is the granularity of the Paged organization.
+const TablePageEntries = 1024
+
+// TableEntryBytes is the modeled size of one table entry on the wire
+// and in storage (packed home processor + local offset).
+const TableEntryBytes = 8
+
+// MemCatTable is the sim.MemStats category for translation-table
+// storage (segments, replicas, and cached pages).
+const MemCatTable = "chaos.table"
 
 // TransTable resolves global element indices to (processor, offset)
 // pairs under a chosen organization, charging the communication a real
@@ -60,8 +80,20 @@ type TransTable struct {
 	local  []int32
 	nprocs int
 
-	// cached[p] marks table pages processor p has cached (Paged mode).
+	// cached[p] marks table pages processor p has cached (Paged mode);
+	// fifo[p] remembers their fill order for eviction. Each processor
+	// touches only its own row, from its own goroutine.
 	cached [][]bool
+	fifo   [][]int
+
+	// charged[p] marks that processor p's base storage has been charged
+	// to the memory ledger (done lazily at its first lookup, when the
+	// cluster is known).
+	charged []bool
+
+	// CachePages bounds the per-processor cached-page count in Paged
+	// mode; 0 means unbounded (the historical behavior).
+	CachePages int
 
 	// Cost model (microseconds).
 	LookupUS float64
@@ -69,7 +101,7 @@ type TransTable struct {
 
 // NewTransTable builds the table for a partition. The underlying data is
 // stored once (the simulation can always resolve locally); the kind
-// controls the *charged* communication.
+// controls the *charged* communication and storage.
 func NewTransTable(part *Partition, kind TableKind) *TransTable {
 	local, _ := Remap(part)
 	t := &TransTable{
@@ -78,11 +110,13 @@ func NewTransTable(part *Partition, kind TableKind) *TransTable {
 		owner:    part.Owner,
 		local:    local,
 		nprocs:   part.NProcs,
+		charged:  make([]bool, part.NProcs),
 		LookupUS: 0.12,
 	}
 	if kind == Paged {
-		pages := (t.n + tablePageEntries - 1) / tablePageEntries
+		pages := (t.n + TablePageEntries - 1) / TablePageEntries
 		t.cached = make([][]bool, part.NProcs)
+		t.fifo = make([][]int, part.NProcs)
 		for p := range t.cached {
 			t.cached[p] = make([]bool, pages)
 		}
@@ -102,6 +136,59 @@ func (t *TransTable) segmentOwner(g int) int {
 	return blockOwner(g, t.n, t.nprocs)
 }
 
+// StorageBytes returns the modeled per-processor table storage of
+// processor p, excluding any cached pages: the full table under
+// Replicated, the home segment otherwise.
+func (t *TransTable) StorageBytes(p int) int64 {
+	if t.kind == Replicated {
+		return int64(t.n) * TableEntryBytes
+	}
+	lo, hi := BlockRange(t.n, t.nprocs, p)
+	return int64(hi-lo) * TableEntryBytes
+}
+
+// pageBytes returns the storage of table page pg (the last page may be
+// partial).
+func (t *TransTable) pageBytes(pg int) int64 {
+	entries := TablePageEntries
+	if rem := t.n - pg*TablePageEntries; rem < entries {
+		entries = rem
+	}
+	return int64(entries) * TableEntryBytes
+}
+
+// chargeStorage lazily charges processor p's base table storage at its
+// first lookup (the table does not know the cluster before then).
+func (t *TransTable) chargeStorage(p *sim.Proc) {
+	if t.charged[p.ID()] {
+		return
+	}
+	t.charged[p.ID()] = true
+	p.Cluster().Mem.Alloc(p.ID(), MemCatTable, t.StorageBytes(p.ID()))
+}
+
+// ReleaseMem returns every charged table byte to the ledger (base
+// storage and cached pages) — the teardown counterpart of the lazy
+// charges, so MemStats.CheckBalanced holds after a run.
+func (t *TransTable) ReleaseMem(c *sim.Cluster) {
+	for p := range t.charged {
+		if !t.charged[p] {
+			continue
+		}
+		t.charged[p] = false
+		c.Mem.Free(p, MemCatTable, t.StorageBytes(p))
+		if t.kind == Paged {
+			for _, pg := range t.fifo[p] {
+				c.Mem.Free(p, MemCatTable, t.pageBytes(pg))
+			}
+			t.fifo[p] = nil
+			for pg := range t.cached[p] {
+				t.cached[p][pg] = false
+			}
+		}
+	}
+}
+
 // LookupLocal resolves indices with no communication or time charges
 // (used when the caller already paid for the translation).
 func (t *TransTable) LookupLocal(globals []int) []Loc {
@@ -118,6 +205,7 @@ func (t *TransTable) LookupLocal(globals []int) []Loc {
 // counted under "chaos.ttable".
 func (t *TransTable) LookupBatch(p *sim.Proc, globals []int) []Loc {
 	cfg := p.Config()
+	t.chargeStorage(p)
 	out := make([]Loc, len(globals))
 	remote := map[int]int{} // segment owner -> #entries requested
 	for i, g := range globals {
@@ -130,10 +218,10 @@ func (t *TransTable) LookupBatch(p *sim.Proc, globals []int) []Loc {
 				remote[q]++
 			}
 		case Paged:
-			page := g / tablePageEntries
+			page := g / TablePageEntries
 			if q := t.segmentOwner(g); q != p.ID() && !t.cached[p.ID()][page] {
-				t.cached[p.ID()][page] = true
-				remote[q] += tablePageEntries // whole page shipped
+				t.cachePage(p, page)
+				remote[q] += TablePageEntries // whole page shipped
 			}
 		}
 	}
@@ -143,10 +231,10 @@ func (t *TransTable) LookupBatch(p *sim.Proc, globals []int) []Loc {
 		t0 := done
 		var msgs, bytes int64
 		for q, entries := range remote {
-			reqB := 8 * entries
-			respB := 8 * entries
+			reqB := TableEntryBytes * entries
+			respB := TableEntryBytes * entries
 			if t.kind == Paged {
-				reqB = 8 * (entries / tablePageEntries)
+				reqB = TableEntryBytes * (entries / TablePageEntries)
 			}
 			rtt := cfg.LatencyUS + cfg.XferUS(reqB) +
 				0.05*float64(entries) + // segment-owner lookup
@@ -162,4 +250,21 @@ func (t *TransTable) LookupBatch(p *sim.Proc, globals []int) []Loc {
 		p.Cluster().Stats.CountP(p.ID(), "chaos.ttable", msgs, bytes)
 	}
 	return out
+}
+
+// cachePage records that processor p now caches table page pg, charging
+// its storage and — when the cache is bounded — evicting the oldest
+// cached page first. The evicted page re-communicates on its next
+// touch, which is how a too-small budget turns into inspector traffic.
+func (t *TransTable) cachePage(p *sim.Proc, pg int) {
+	me := p.ID()
+	if t.CachePages > 0 && len(t.fifo[me]) >= t.CachePages {
+		old := t.fifo[me][0]
+		t.fifo[me] = t.fifo[me][1:]
+		t.cached[me][old] = false
+		p.Cluster().Mem.Free(me, MemCatTable, t.pageBytes(old))
+	}
+	t.cached[me][pg] = true
+	t.fifo[me] = append(t.fifo[me], pg)
+	p.Cluster().Mem.Alloc(me, MemCatTable, t.pageBytes(pg))
 }

@@ -251,6 +251,7 @@ type Cluster struct {
 	procs []*Proc
 	Stats Stats
 	Sync  SyncStats
+	Mem   MemStats
 
 	// schedMu guards every blocking structure — mailboxes, barriers,
 	// resources — plus the runnable-processor count, so blocked/runnable
@@ -269,6 +270,7 @@ func NewCluster(cfg Config) *Cluster {
 	c := &Cluster{cfg: cfg, barriers: map[int]*barrier{}, resources: map[int]*resource{}}
 	c.Stats.init(cfg.Procs)
 	c.Sync.init(cfg.Procs)
+	c.Mem.init(cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
 		p := &Proc{
 			id:       i,

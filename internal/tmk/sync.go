@@ -73,6 +73,7 @@ func (n *Node) Barrier(id int) {
 		board.mu.Lock()
 		defer board.mu.Unlock()
 		posted := 0
+		var postedBytes int64
 		for _, c := range contribs {
 			cb := c.(*barrierContribution)
 			for _, nt := range cb.notices {
@@ -80,9 +81,15 @@ func (n *Node) Barrier(id int) {
 				if int(nt.Interval) == len(board.byWriter[w])+1 {
 					board.byWriter[w] = append(board.byWriter[w], nt)
 					posted++
+					postedBytes += int64(nt.WireBytes())
 				}
 			}
 		}
+		// The retained store grows on the manager; charged to the global
+		// mem shard (grow-only, so the peak is interleaving-independent
+		// even though combines run on whichever goroutine arrives last).
+		n.d.boardBytes += postedBytes
+		n.d.cluster.Mem.Alloc(-1, MemCatBoard, postedBytes)
 		var retained int64
 		for _, c := range contribs {
 			retained += c.(*barrierContribution).diffBytes
@@ -137,6 +144,7 @@ func (n *Node) gcFlush(barrierID int) {
 	// Everyone must finish fetching before anyone discards.
 	n.proc.BarrierExchange(1<<19+barrierID, nil, 0, nil)
 	n.mu.Lock()
+	n.d.cluster.Mem.Free(n.proc.ID(), MemCatDiffs, n.diffBytes)
 	n.diffStore = map[diffKey]*storedDiff{}
 	n.diffBytes = 0
 	n.mu.Unlock()
@@ -222,13 +230,17 @@ func (n *Node) ReleaseLock(id int) {
 	}
 	board := d.board
 	board.mu.Lock()
+	var postedBytes int64
 	for _, nt := range n.newNotices {
 		w := nt.Proc
 		if int(nt.Interval) == len(board.byWriter[w])+1 {
 			board.byWriter[w] = append(board.byWriter[w], nt)
+			postedBytes += int64(nt.WireBytes())
 		}
 	}
+	d.boardBytes += postedBytes
 	board.mu.Unlock()
+	d.cluster.Mem.Alloc(-1, MemCatBoard, postedBytes)
 	n.seen[n.proc.ID()] = n.vc[n.proc.ID()]
 	n.newNotices = nil
 

@@ -25,6 +25,19 @@ import (
 // minGap is the run-merge threshold for diff encoding.
 const minGap = 8
 
+// sim.MemStats categories (DESIGN.md §9). Page copies, twins, and
+// stored diffs are charged to the owning node's processor from its own
+// goroutine (deterministic program order); the notice board is a
+// cluster-wide store appended to from barrier combines, so it is
+// charged to the global shard (proc -1), where it only grows until
+// Close and its peak is order-independent.
+const (
+	MemCatPages = "tmk.pages"
+	MemCatTwins = "tmk.twins"
+	MemCatDiffs = "tmk.diffs"
+	MemCatBoard = "tmk.board"
+)
+
 // DSM is the cluster-wide shared-memory system: the arena, one Node per
 // processor, and the centralized synchronization managers.
 type DSM struct {
@@ -43,6 +56,13 @@ type DSM struct {
 	GCThresholdBytes int64
 
 	sealed bool
+	closed bool
+	// pagesCharged is the per-node page-copy charge made at SealInit,
+	// remembered so Close can return exactly it.
+	pagesCharged int64
+	// boardBytes is the notice-board storage charged to the global mem
+	// shard so far; guarded by board.mu.
+	boardBytes int64
 }
 
 // New creates a DSM over the cluster with the given page size and total
@@ -135,6 +155,45 @@ func (d *DSM) SealInit() {
 	d.cluster.ResetClocks()
 	d.cluster.Stats.Reset()
 	d.cluster.Sync.Reset()
+	// Charge every node's page copies. The footprint ledger is NOT
+	// reset here: unlike traffic, the memory allocated during
+	// initialization is exactly what the machine must hold for the rest
+	// of the run.
+	d.pagesCharged = int64(numPages) * int64(d.arena.PageSize())
+	for i := range d.nodes {
+		d.cluster.Mem.Alloc(i, MemCatPages, d.pagesCharged)
+	}
+}
+
+// Close tears the system down for the memory ledger: page copies,
+// surviving twins, retained diffs, and the notice board are freed, so
+// sim.MemStats.CheckBalanced holds afterwards (peaks survive — they are
+// the report). Call it after the last shared-memory access.
+func (d *DSM) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	mem := &d.cluster.Mem
+	for i, n := range d.nodes {
+		mem.Free(i, MemCatPages, d.pagesCharged)
+		for _, dp := range n.dirty {
+			if !dp.fullWrite {
+				mem.Free(i, MemCatTwins, int64(d.arena.PageSize()))
+			}
+		}
+		n.dirty = map[vm.PageID]*dirtyPage{}
+		n.mu.Lock()
+		mem.Free(i, MemCatDiffs, n.diffBytes)
+		n.diffStore = map[diffKey]*storedDiff{}
+		n.diffBytes = 0
+		n.mu.Unlock()
+	}
+	d.board.mu.Lock()
+	bb := d.boardBytes
+	d.boardBytes = 0
+	d.board.mu.Unlock()
+	mem.Free(-1, MemCatBoard, bb)
 }
 
 type diffKey struct {
@@ -286,6 +345,7 @@ func (n *Node) TwinForWrite(page vm.PageID, fullWrite bool) {
 		n.proc.Advance(cfg.TwinUSPerB * float64(len(pg.Data())))
 		n.dirty[page] = &dirtyPage{twin: diff.Twin(pg.Data())}
 		n.TwinsMade++
+		n.d.cluster.Mem.Alloc(n.proc.ID(), MemCatTwins, int64(len(pg.Data())))
 	}
 	n.space.Protect(page, vm.ReadWrite)
 }
@@ -318,6 +378,7 @@ func (n *Node) closeInterval() {
 	}
 	sort.Slice(dirtyPages, func(i, j int) bool { return dirtyPages[i] < dirtyPages[j] })
 	var snapBytes, scanBytes int
+	var twinFreed, diffStored int64
 	n.mu.Lock()
 	for _, page := range dirtyPages {
 		dp := n.dirty[page]
@@ -331,11 +392,13 @@ func (n *Node) closeInterval() {
 		} else {
 			d = diff.Encode(dp.twin, pg.Data(), minGap)
 			scanBytes += len(pg.Data())
+			twinFreed += int64(len(pg.Data())) // twin discarded below
 		}
 		n.diffStore[diffKey{page, n.vc[me]}] = &storedDiff{
 			page: page, proc: me, interval: n.vc[me], vc: nt.VC, full: full, d: d,
 		}
 		n.diffBytes += int64(d.WireBytes())
+		diffStored += int64(d.WireBytes())
 		n.DiffsCreated++
 		nt.Pages = append(nt.Pages, page)
 		if full {
@@ -347,6 +410,8 @@ func (n *Node) closeInterval() {
 	n.mu.Unlock()
 	n.proc.Advance(cfg.TwinUSPerB*float64(snapBytes) + cfg.DiffUSPerB*float64(scanBytes))
 	n.dirty = map[vm.PageID]*dirtyPage{}
+	n.d.cluster.Mem.Free(me, MemCatTwins, twinFreed)
+	n.d.cluster.Mem.Alloc(me, MemCatDiffs, diffStored)
 	n.newNotices = append(n.newNotices, nt)
 }
 
