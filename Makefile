@@ -1,0 +1,32 @@
+# Benchmark-regression tooling. The gated set — the scheduler hot paths
+# (arbiter, delivery) and the stats counters — lives in the root package
+# and internal/sim; BENCH_sim.json is the committed baseline the CI
+# bench leg compares against (see README "Performance").
+#
+# The numbers are machine-relative: regenerate the baseline (and commit
+# it) after a deliberate perf change, or when the CI runner class
+# changes enough that the 30% gate trips without a code cause.
+
+BENCH_PKGS    := . ./internal/sim
+BENCH_PATTERN := ^(BenchmarkArbiter|BenchmarkDelivery|BenchmarkStatsCount)
+BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=100x -count=6
+
+.PHONY: test race bench-baseline bench-check
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./...
+
+# Refresh the committed baseline on this machine. Two commands, not a
+# pipe: a benchmark that panics mid-run must fail the target instead of
+# handing benchgate partial output.
+bench-baseline:
+	go test $(BENCH_FLAGS) $(BENCH_PKGS) > /tmp/bench-raw.txt
+	go run ./cmd/benchgate -out BENCH_sim.json < /tmp/bench-raw.txt
+
+# Run the same gate CI runs: fail if anything regressed >30%.
+bench-check:
+	go test $(BENCH_FLAGS) $(BENCH_PKGS) > /tmp/bench-raw.txt
+	go run ./cmd/benchgate -baseline BENCH_sim.json < /tmp/bench-raw.txt

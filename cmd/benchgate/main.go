@@ -1,0 +1,248 @@
+// benchgate converts `go test -bench` output into the committed
+// BENCH_sim.json schema and gates benchmark regressions against it.
+//
+// The schema records one entry per benchmark (sub-benchmarks keep their
+// /procs=N suffix, so ns/op is tracked per benchmark per proc count),
+// each entry the minimum ns/op over the -count samples. The minimum,
+// not the mean or median: the simulated workload is deterministic, so
+// wall-clock variance on a shared runner is additive noise (load
+// spikes, descheduling), and the fastest sample is the least-noise
+// estimate of what the code costs. A gate on minima only fails when
+// every sample slowed down — a real regression, not a noisy neighbor.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -benchtime=100x -count=6 ... | benchgate -out BENCH_sim.json
+//	go test ... | benchgate -baseline BENCH_sim.json [-out bench-current.json] [-max-ratio 1.30]
+//	benchgate -baseline BENCH_sim.json -current bench-current.json
+//
+// With -baseline, benchgate exits 1 if any baseline benchmark is
+// missing from the current run or regressed by more than the ratio
+// (current/baseline > max-ratio). Refresh the baseline with
+// `make bench-baseline` after a deliberate performance change — the
+// committed history of that file is the perf trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema is the version tag written into every snapshot.
+const Schema = "bench_sim/v1"
+
+// Entry is one benchmark's record: minimum wall-clock ns per op and how
+// many samples the minimum was taken over.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Samples int     `json:"samples"`
+}
+
+// Snapshot is the BENCH_sim.json document.
+type Snapshot struct {
+	Schema string `json:"schema"`
+	Note   string `json:"note,omitempty"`
+	// CPU is the `cpu:` line go test printed when the snapshot was
+	// taken. Ratios are only meaningful within one machine class, so a
+	// gate failure against a baseline from a different CPU names both.
+	CPU string `json:"cpu,omitempty"`
+	// Benchmarks maps the full benchmark name (GOMAXPROCS suffix
+	// stripped, sub-benchmark path kept) to its entry. encoding/json
+	// marshals map keys sorted, so the file is diff-stable.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkArbiter/procs=16-8   	 100	 22959 ns/op	 946 B/op	...
+//
+// The trailing -8 is GOMAXPROCS, stripped so snapshots from machines
+// with different core counts stay comparable by name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// ParseBench collects ns/op samples per benchmark name from go test
+// -bench output, plus the machine's `cpu:` banner. Repeated names
+// (from -count, or the same name in several packages) accumulate as
+// samples.
+func ParseBench(r io.Reader) (samples map[string][]float64, cpu string, err error) {
+	samples = map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, perr := strconv.ParseFloat(m[2], 64)
+		if perr != nil {
+			return nil, cpu, fmt.Errorf("benchgate: bad ns/op in %q: %v", line, perr)
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	return samples, cpu, sc.Err()
+}
+
+// Summarize reduces the per-benchmark samples to their minima (see the
+// package comment for why min, not median).
+func Summarize(samples map[string][]float64) Snapshot {
+	s := Snapshot{Schema: Schema, Benchmarks: map[string]Entry{}}
+	for name, ns := range samples {
+		min := ns[0]
+		for _, v := range ns[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		s.Benchmarks[name] = Entry{NsPerOp: min, Samples: len(ns)}
+	}
+	return s
+}
+
+// Compare gates cur against base: every baseline benchmark must be
+// present and within maxRatio (cur/base). It prints a trajectory table
+// to w and returns the failure messages (nil means the gate passes).
+func Compare(w io.Writer, base, cur Snapshot, maxRatio float64) []string {
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %14.1f %14s %8s\n", name, b.NsPerOp, "MISSING", "-")
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from the current run", name))
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		mark := ""
+		if ratio > maxRatio {
+			mark = "  << REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx allowed)",
+				name, c.NsPerOp, b.NsPerOp, ratio, maxRatio))
+		}
+		fmt.Fprintf(w, "%-44s %14.1f %14.1f %7.2fx%s\n", name, b.NsPerOp, c.NsPerOp, ratio, mark)
+	}
+	var extra []string
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "%-44s %14s %14.1f %8s\n", name, "(new)", cur.Benchmarks[name].NsPerOp, "-")
+	}
+	return failures
+}
+
+func readSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("benchgate: %s: %v", path, err)
+	}
+	if s.Schema != Schema {
+		return s, fmt.Errorf("benchgate: %s has schema %q, want %q", path, s.Schema, Schema)
+	}
+	return s, nil
+}
+
+func writeSnapshot(path string, s Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	out := flag.String("out", "", "write the parsed snapshot JSON to this file")
+	baseline := flag.String("baseline", "", "gate against this committed snapshot (exit 1 on regression)")
+	current := flag.String("current", "", "read the current run from this snapshot JSON instead of parsing stdin")
+	maxRatio := flag.Float64("max-ratio", 1.30, "fail when current/baseline exceeds this ratio")
+	cpuMismatch := flag.String("cpu-mismatch", "fail",
+		"what a regression means when baseline and current CPUs differ: fail, or warn (report but exit 0 — ratios across machine classes are not code regressions)")
+	note := flag.String("note", "regenerate with `make bench-baseline` on the reference machine; gated by the CI bench leg",
+		"note stored in the written snapshot")
+	flag.Parse()
+
+	var cur Snapshot
+	var err error
+	if *current != "" {
+		cur, err = readSnapshot(*current)
+	} else {
+		var samples map[string][]float64
+		var cpu string
+		samples, cpu, err = ParseBench(os.Stdin)
+		if err == nil && len(samples) == 0 {
+			err = fmt.Errorf("benchgate: no benchmark results on stdin")
+		}
+		cur = Summarize(samples)
+		cur.Note = *note
+		cur.CPU = cpu
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		if err := writeSnapshot(*out, cur); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(cur.Benchmarks), *out)
+	}
+
+	if *baseline != "" {
+		base, err := readSnapshot(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		failures := Compare(os.Stdout, base, cur, *maxRatio)
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "benchgate: %s\n", f)
+			}
+			mismatched := base.CPU != "" && cur.CPU != "" && base.CPU != cur.CPU
+			if mismatched {
+				fmt.Fprintf(os.Stderr, "benchgate: baseline was measured on %q but this run on %q — "+
+					"ratios across machine classes are not code regressions; refresh the baseline on this class\n",
+					base.CPU, cur.CPU)
+				if *cpuMismatch == "warn" {
+					fmt.Printf("bench gate ADVISORY (cpu mismatch): %d benchmark(s) over the %.2fx ratio; "+
+						"not failing — commit a baseline from this machine class to arm the gate\n",
+						len(failures), *maxRatio)
+					return
+				}
+			}
+			fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed >%.0f%% vs %s "+
+				"(if intentional, refresh with `make bench-baseline` and commit the new baseline)\n",
+				len(failures), (*maxRatio-1)*100, *baseline)
+			os.Exit(1)
+		}
+		fmt.Printf("bench gate passed: %d benchmarks within %.2fx of %s\n",
+			len(base.Benchmarks), *maxRatio, *baseline)
+	}
+}

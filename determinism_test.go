@@ -121,19 +121,30 @@ func TestSpmvByteIdenticalAcrossRuns(t *testing.T) {
 }
 
 // TestTaskqByteIdenticalAcrossRuns is the arbiter contention stress:
-// every item claim is one lock acquire, so at 8 and 16 processors the
-// grant chain is hundreds of quiescence decisions long, each a chance
-// for a real-time ordering leak to change the simulated times. Run
-// under -race in CI, the per-run goroutine interleaving varies wildly;
-// the triples, final state, and lock grids must not.
+// every item claim is one lock acquire, so at 8+ processors the grant
+// chain is hundreds of quiescence decisions long, each a chance for a
+// real-time ordering leak to change the simulated times. Run under
+// -race in CI, the per-run goroutine interleaving varies wildly; the
+// triples, final state, and lock grids must not.
+//
+// The 32-processor leg is the sharded-scheduler ledger stress
+// (DESIGN.md §10): with 32 goroutines the per-processor mailbox shards,
+// the atomic quiescence counter, and the SyncStats/MemStats recording
+// points under arbMu see maximal concurrency, so a recording path that
+// escaped the documented locking contract shows up here as a race
+// report or a diverging grid.
 func TestTaskqByteIdenticalAcrossRuns(t *testing.T) {
-	for _, procs := range []int{8, 16} {
+	for _, procs := range []int{8, 16, 32} {
+		runs := 4
+		if procs == 32 {
+			runs = 3 // the leg exists for shard/ledger races; trim the repeat cost
+		}
 		p := taskq.DefaultParams(240, procs)
 		w := taskq.Generate(p)
 		tag := func(sys string) string { return fmt.Sprintf("taskq/%s@%dp", sys, procs) }
-		stress(t, tag("mp"), 4, func() *apps.Result { return taskq.RunMP(w) })
-		stress(t, tag("tmk"), 4, func() *apps.Result { return taskq.RunTmk(w, taskq.TmkOptions{}) })
-		stress(t, tag("tmk-batch"), 4, func() *apps.Result {
+		stress(t, tag("mp"), runs, func() *apps.Result { return taskq.RunMP(w) })
+		stress(t, tag("tmk"), runs, func() *apps.Result { return taskq.RunTmk(w, taskq.TmkOptions{}) })
+		stress(t, tag("tmk-batch"), runs, func() *apps.Result {
 			return taskq.RunTmk(w, taskq.TmkOptions{Batched: true})
 		})
 	}

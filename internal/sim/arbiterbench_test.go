@@ -13,7 +13,7 @@ import (
 // One op is one cycle on one processor (procs grants happen per op
 // across the cluster).
 func BenchmarkArbiter(b *testing.B) {
-	for _, procs := range []int{2, 4, 8, 16} {
+	for _, procs := range []int{2, 4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
 			c := NewCluster(DefaultConfig(procs))
 			b.ReportAllocs()

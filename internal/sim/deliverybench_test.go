@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDelivery measures the contended delivery path the apps
+// actually exercise (the CHAOS gather/scatter and schedule exchanges):
+// an all-to-all round in which every processor sends one message to
+// every other processor and then drains its procs-1 incoming messages
+// with one total-order RecvEach. One op is one full round on one
+// processor — procs*(procs-1) messages move per op across the cluster.
+// Each Send appends under the target's own shard lock, so with
+// per-processor mailbox shards the round's appends spread across procs
+// locks; under the old global scheduler mutex all of them — and every
+// drain — serialized cluster-wide.
+func BenchmarkDelivery(b *testing.B) {
+	for _, procs := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			c := NewCluster(DefaultConfig(procs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.Run(func(p *Proc) {
+				for i := 0; i < b.N; i++ {
+					for q := 0; q < procs; q++ {
+						if q != p.ID() {
+							p.Send(q, "xall", i, nil, 64)
+						}
+					}
+					p.RecvEach("xall", i, procs-1, nil)
+					p.Advance(1)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDeliveryRing is the latency-bound shape: a neighbor ring
+// where every processor sends one message and drains one message per
+// iteration, so each message costs one block/wake hand-off. The ring
+// gives natural backpressure — a processor cannot start iteration i+1
+// before its predecessor's iteration-i message arrived — so mailboxes
+// stay short. On a single-core host this benchmark is dominated by
+// goroutine switches, which bounds how much lock sharding can show.
+func BenchmarkDeliveryRing(b *testing.B) {
+	for _, procs := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			c := NewCluster(DefaultConfig(procs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.Run(func(p *Proc) {
+				next := (p.ID() + 1) % procs
+				for i := 0; i < b.N; i++ {
+					p.Send(next, "ring", 0, nil, 64)
+					p.RecvEach("ring", 0, 1, nil)
+					p.Advance(1)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDeliveryFanIn measures the single-shard worst case: procs-1
+// senders flood processor 0, which drains each round with one
+// total-order RecvEach. Sharding cannot spread this load (one target),
+// but it removes the other processors' traffic from the receiver's
+// critical section and bounds the sort to one round's messages (the
+// per-round tag keeps phases separate, as the CHAOS executor does).
+func BenchmarkDeliveryFanIn(b *testing.B) {
+	for _, procs := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			c := NewCluster(DefaultConfig(procs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.Run(func(p *Proc) {
+				if p.ID() == 0 {
+					for i := 0; i < b.N; i++ {
+						p.RecvEach("fan", i, procs-1, nil)
+					}
+				} else {
+					for i := 0; i < b.N; i++ {
+						p.Send(0, "fan", i, nil, 32)
+					}
+				}
+			})
+		})
+	}
+}

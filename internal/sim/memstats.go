@@ -19,6 +19,17 @@
 // charged to the global shard (proc -1) and only ever grows until
 // teardown, so its peak equals its final size regardless of arrival
 // order. Counters are integers; merges are order-independent.
+//
+// Locking contract under the sharded scheduler (DESIGN.md §10): shard
+// mutexes are leaf locks, and no scheduler lock is ever needed to
+// charge memory — Alloc/Free run on the owning processor's goroutine
+// (or single-threaded setup/teardown), exactly as before the sharding.
+// The one foreign-goroutine path, the barrier-combine board charge,
+// runs while the combining processor holds Cluster.barMu; that is safe
+// (barMu → shard mutex nests downward) and still orders all board
+// charges, because combines of one barrier are serialized by the
+// episode itself. Nothing may block on a scheduler lock (mbMu, barMu,
+// arbMu) while holding a shard mutex.
 package sim
 
 import (

@@ -1,0 +1,307 @@
+// Tests for the sharded scheduler (DESIGN.md §10): the per-processor
+// mailbox shards must preserve the exact drain semantics of the old
+// single-lock scheduler, mailbox recycling must never lose or leak
+// messages across phase tags, and the epoch-based quiescence detection
+// must keep the conservative arbiter's contract — decisions only at
+// true cluster quiescence, grant hooks before any grantee resumes —
+// under heavy interleaving of blocking, delivery, and grants.
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMailboxShardDrainEquivalence floods one receiver from several
+// concurrent senders — scrambled real-time arrival, deliberate sentAt
+// ties across senders, and per-sender same-clock bursts that only the
+// sequence number orders — and checks the RecvEach drain against an
+// independently sorted (sentAt, from, seq) reference: the single-lock
+// scheduler's semantics, restated as a specification.
+func TestMailboxShardDrainEquivalence(t *testing.T) {
+	const senders, burst, rounds = 6, 3, 4
+	type key struct {
+		sentAt float64
+		from   int
+		ord    int // per-sender program order, the observable stand-in for seq
+	}
+	for trial := 0; trial < 20; trial++ {
+		c := NewCluster(DefaultConfig(senders + 1))
+		var got []key
+		var want []key
+		c.Run(func(p *Proc) {
+			if p.ID() == senders {
+				p.RecvEach("eq", 0, senders*burst*rounds, func(from int, payload any) {
+					got = append(got, payload.(key))
+				})
+				return
+			}
+			ord := 0
+			for r := 0; r < rounds; r++ {
+				// Scramble real-time order without touching simulated time.
+				if (p.ID()+r)%2 == 0 {
+					time.Sleep(time.Duration(p.ID()) * 100 * time.Microsecond)
+				} else {
+					runtime.Gosched()
+				}
+				// A same-clock burst: identical sentAt, ordered only by seq.
+				for b := 0; b < burst; b++ {
+					k := key{sentAt: p.Clock(), from: p.ID(), ord: ord}
+					p.Send(senders, "eq", 0, k, 16)
+					ord++
+				}
+				// Senders sharing a parity advance identically, creating
+				// cross-sender sentAt ties that fall back to sender id,
+				// while the other parity's clocks diverge.
+				p.Advance(float64(10 * (r + 1 + p.ID()%2)))
+			}
+		})
+		for _, k := range got {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			a, b := want[i], want[j]
+			if a.sentAt != b.sentAt {
+				return a.sentAt < b.sentAt
+			}
+			if a.from != b.from {
+				return a.from < b.from
+			}
+			return a.ord < b.ord
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: drain position %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMailboxRecycleAcrossPhases drains per-phase mailboxes in the
+// reverse of their send order, so every drain empties and recycles a
+// mailbox while many earlier-phase mailboxes still hold messages: no
+// message may be lost, cross-delivered, or reordered by the reuse.
+func TestMailboxRecycleAcrossPhases(t *testing.T) {
+	const phases = 100
+	c := NewCluster(DefaultConfig(2))
+	c.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			for tag := 0; tag < phases; tag++ {
+				p.Send(1, "ph", tag, tag, 8)
+			}
+			return
+		}
+		for tag := phases - 1; tag >= 0; tag-- {
+			from, v := p.Recv("ph", tag)
+			if from != 0 || v.(int) != tag {
+				t.Errorf("tag %d: got from=%d payload=%v", tag, from, v)
+			}
+		}
+	})
+}
+
+// TestGrantHooksSnapshotBeforeGranteesResume pins the two-phase grant:
+// when several resources are granted at one quiescent instant, every
+// onGrant hook must run before any grantee resumes — the conservative
+// snapshot contract the TreadMarks lock grant relies on. A one-phase
+// implementation that wakes grantee A before running B's hook fails
+// this under real scheduling.
+func TestGrantHooksSnapshotBeforeGranteesResume(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		c := NewCluster(DefaultConfig(4))
+		var resumed atomic.Int64
+		var seen [4]int64
+		c.Run(func(p *Proc) {
+			id := p.ID()
+			p.AcquireResource(id, float64(id), func() {
+				seen[id] = resumed.Load()
+			})
+			resumed.Add(1)
+			p.Advance(1)
+			p.ReleaseResource(id, p.Clock())
+		})
+		for id, s := range seen {
+			if s != 0 {
+				t.Fatalf("trial %d: proc %d's grant hook saw %d grantees already resumed", trial, id, s)
+			}
+		}
+	}
+}
+
+// TestRecvOutsideRun covers the uncounted path: a goroutine outside
+// Cluster.Run blocks in a receive (it must not count toward quiescence)
+// and is woken by a delivery. The old global-lock scheduler supported
+// this; the shards must too.
+func TestRecvOutsideRun(t *testing.T) {
+	c := NewCluster(DefaultConfig(2))
+	go func() {
+		time.Sleep(time.Millisecond)
+		c.Proc(0).Send(1, "ext", 0, "hello", 8)
+	}()
+	from, payload := c.Proc(1).Recv("ext", 0)
+	if from != 0 || payload.(string) != "hello" {
+		t.Fatalf("got from=%d payload=%v", from, payload)
+	}
+}
+
+// TestAcquireResourceOutsideRun covers the uncounted arbiter path: with
+// no processors inside Run the cluster is trivially quiescent, so an
+// acquire from an outside goroutine must be granted immediately, and a
+// release must hand the freed resource to the next outside acquirer.
+func TestAcquireResourceOutsideRun(t *testing.T) {
+	c := NewCluster(DefaultConfig(2))
+	if v := c.Proc(0).AcquireResource(3, 0, nil); v != 0 {
+		t.Fatalf("first grant value = %v, want 0", v)
+	}
+	c.Proc(0).ReleaseResource(3, 42)
+	if v := c.Proc(1).AcquireResource(3, 1, nil); v != 42 {
+		t.Fatalf("second grant value = %v, want 42", v)
+	}
+	c.Proc(1).ReleaseResource(3, 43)
+}
+
+// TestQuiescenceEpochTorture interleaves every blocking primitive —
+// mailbox receives, arbiter acquires on two contended locks, and
+// barriers — across rotating roles and scrambled real-time schedules,
+// and demands the whole run be bit-identical: per-processor clocks,
+// makespan, grant count, and the sync grid. This is the stress for the
+// atomic-counter + epoch quiescence detection; a decision taken at a
+// false quiescent instant shifts a grant and changes the times.
+func TestQuiescenceEpochTorture(t *testing.T) {
+	const procs, roundsN = 8, 24
+	run := func(scramble bool) ([]uint64, int64) {
+		c := NewCluster(DefaultConfig(procs))
+		var grants atomic.Int64
+		c.Run(func(p *Proc) {
+			next := (p.ID() + 1) % procs
+			for r := 0; r < roundsN; r++ {
+				if scramble && (p.ID()+r)%5 == 0 {
+					time.Sleep(time.Duration((p.ID()+r)%3) * 50 * time.Microsecond)
+				}
+				// Delivery leg: ring exchange, one message per round.
+				p.Send(next, "torture", r, p.ID(), 32)
+				p.RecvEach("torture", r, 1, func(from int, payload any) {
+					p.Advance(1.5)
+				})
+				// Lock leg: rotating subset contends on two resources, so
+				// grants of one lock reshape who requests the other.
+				if (p.ID()+r)%3 == 0 {
+					res := r % 2
+					free := p.AcquireResource(res, p.Clock(), nil)
+					if free > p.Clock() {
+						p.AdvanceTo(free)
+					}
+					grants.Add(1)
+					p.Advance(2.25)
+					p.ReleaseResource(res, p.Clock())
+				}
+				// Quiescence churn: a barrier every few rounds forces full
+				// block/release cycles through the barrier path too.
+				if r%6 == 5 {
+					p.Barrier(1000 + r)
+				}
+			}
+		})
+		clocks := make([]uint64, procs)
+		for i := 0; i < procs; i++ {
+			clocks[i] = math.Float64bits(c.Proc(i).Time())
+		}
+		return clocks, grants.Load()
+	}
+	refClocks, refGrants := run(false)
+	if want := int64(procs * roundsN / 3); refGrants != want {
+		t.Fatalf("grant count = %d, want %d", refGrants, want)
+	}
+	for trial := 0; trial < 15; trial++ {
+		clocks, grants := run(trial%2 == 1)
+		if grants != refGrants {
+			t.Fatalf("trial %d: %d grants != reference %d", trial, grants, refGrants)
+		}
+		for i := range clocks {
+			if clocks[i] != refClocks[i] {
+				t.Fatalf("trial %d: proc %d time bits %x != reference %x (times must be bit-identical)",
+					trial, i, clocks[i], refClocks[i])
+			}
+		}
+	}
+}
+
+// TestDrainBufferReuseAcrossSizes exercises the drain scratch buffer
+// growth path: alternating large and small collective drains on one
+// processor must each see exactly their own messages.
+func TestDrainBufferReuseAcrossSizes(t *testing.T) {
+	const procs = 5
+	c := NewCluster(DefaultConfig(procs))
+	c.Run(func(p *Proc) {
+		for r := 0; r < 10; r++ {
+			if p.ID() == 0 {
+				n := procs - 1
+				if r%2 == 1 {
+					n = 1 // only proc 1 sends on odd rounds
+				}
+				sum := 0
+				p.RecvEach("sz", r, n, func(from int, payload any) {
+					sum += payload.(int)
+				})
+				want := 0
+				for q := 1; q <= n; q++ {
+					want += q * (r + 1)
+				}
+				if sum != want {
+					t.Errorf("round %d: sum = %d, want %d", r, sum, want)
+				}
+			} else if r%2 == 0 || p.ID() == 1 {
+				p.Send(0, "sz", r, p.ID()*(r+1), 8)
+			}
+		}
+	})
+}
+
+// TestArbiterZeroAllocSteadyState guards the reusable-waiter fast path:
+// a contended steady-state acquire/release cycle must not allocate (the
+// per-proc waiter and its grant channel are reused).
+func TestArbiterZeroAllocSteadyState(t *testing.T) {
+	c := NewCluster(DefaultConfig(1))
+	p := c.Proc(0)
+	p.AcquireResource(7, 0, nil)
+	p.ReleaseResource(7, 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.AcquireResource(7, 0, nil)
+		p.ReleaseResource(7, 0)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state acquire/release allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestConcurrentAcquireOnOneProcPanics pins the documented invariant
+// behind the reusable waiter: a processor has at most one resource
+// acquire in flight.
+func TestConcurrentAcquireOnOneProcPanics(t *testing.T) {
+	c := NewCluster(DefaultConfig(2))
+	p := c.Proc(0)
+	p.AcquireResource(1, 0, nil) // holds 1; waiter slot is free again
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		// Blocks forever (resource 1 is held): occupies the waiter slot.
+		p.AcquireResource(1, 1, nil)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("second concurrent acquire did not panic")
+			}
+		}()
+		p.AcquireResource(2, 2, nil)
+	}()
+	p.ReleaseResource(1, 5)
+	if r := <-done; r != nil {
+		t.Fatalf("queued acquire panicked: %v", r)
+	}
+}

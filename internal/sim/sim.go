@@ -25,10 +25,19 @@
 //     when every processor is blocked, the set of waiting requests is
 //     uniquely determined by the program, so picking the least
 //     (key, proc) waiter is reproducible.
+//
+// The scheduler that enforces these rules is sharded (DESIGN.md §10):
+// mailbox delivery takes only the target processor's shard lock,
+// barriers their own lock, the arbiter its own, and quiescence is
+// tracked by an atomic runnable counter plus a wake epoch rather than a
+// global mutex. None of this changes any simulated number — the total
+// orders, quiescent instants, and grant decisions are identical; only
+// the wall-clock cost of reaching them shrinks.
 package sim
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -112,19 +121,27 @@ type CatStat struct {
 
 // statsShard is one processor's private counter map, padded to a full
 // 64-byte cache line so adjacent shards never false-share on the hot
-// Count path.
+// Count path. lastCat/last memoize the most recent category: hot loops
+// count the same kind back to back, and comparing two references to the
+// same string constant short-circuits before hashing the map key.
 type statsShard struct {
-	mu    sync.Mutex
-	byCat map[string]*CatStat
-	_     [64 - 16]byte // Mutex (8) + map header (8)
+	mu      sync.Mutex
+	byCat   map[string]*CatStat
+	lastCat string
+	last    *CatStat
+	_       [64 - 40]byte // Mutex (8) + map header (8) + string (16) + ptr (8)
 }
 
 func (s *statsShard) count(cat string, msgs, bytes int64) {
 	s.mu.Lock()
-	cs := s.byCat[cat]
-	if cs == nil {
-		cs = &CatStat{}
-		s.byCat[cat] = cs
+	cs := s.last
+	if cs == nil || s.lastCat != cat {
+		cs = s.byCat[cat]
+		if cs == nil {
+			cs = &CatStat{}
+			s.byCat[cat] = cs
+		}
+		s.lastCat, s.last = cat, cs
 	}
 	cs.Messages += msgs
 	cs.Bytes += bytes
@@ -233,6 +250,7 @@ func (s *Stats) Reset() {
 	s.forEachShard(func(sh *statsShard) {
 		sh.mu.Lock()
 		sh.byCat = map[string]*CatStat{}
+		sh.lastCat, sh.last = "", nil
 		sh.mu.Unlock()
 	})
 }
@@ -246,6 +264,33 @@ func (s *Stats) Reset() {
 type Handler func(from int, req any) (resp any, respBytes int, handlerUS float64)
 
 // Cluster is a set of simulated processors sharing a network.
+//
+// Scheduler locking hierarchy (DESIGN.md §10). The blocking structures
+// are sharded; locks nest strictly downward, never sideways or up:
+//
+//	Proc.mbMu (per-processor mailbox shard)  ─┐
+//	Cluster.barMu (barrier episodes)          ├─> Cluster.arbMu (arbiter)
+//	                                          │       └─> stats shard
+//	                                          └─────────> mutexes (leaf)
+//
+// That is: a goroutine holding a mailbox shard or the barrier lock may
+// take arbMu (blockSelf → arbitrate); the arbiter may take stats shard
+// mutexes (SyncStats.recordGrant) and whatever leaf locks onGrant hooks
+// take; nothing holding arbMu ever takes a mailbox shard or barMu.
+//
+// Blocked/runnable transitions go through the atomic runnable counter
+// `active` plus the wake epoch `qgen` instead of a global mutex:
+//
+//   - A blocker publishes its wait state (mailbox waiting flag, barrier
+//     slot, resource waiter) under the shard lock its waker takes, then
+//     decrements active. The decrement that reaches zero runs the
+//     arbiter; the waiter publication is visible to whichever goroutine
+//     that is, because the chain of atomic RMWs on active carries the
+//     happens-before edge from every earlier blocker.
+//   - A waker increments qgen, then active, before its sleeper can
+//     resume (it still holds the shard lock, or the grant channel is
+//     not yet closed), so active never under-reports and quiescence is
+//     never declared while a wake-up is in flight.
 type Cluster struct {
 	cfg   Config
 	procs []*Proc
@@ -253,13 +298,22 @@ type Cluster struct {
 	Sync  SyncStats
 	Mem   MemStats
 
-	// schedMu guards every blocking structure — mailboxes, barriers,
-	// resources — plus the runnable-processor count, so blocked/runnable
-	// transitions and quiescence detection are atomic.
-	schedMu   sync.Mutex
-	active    int // processors currently runnable inside Run
-	barriers  map[int]*barrier
+	// active counts processors currently runnable inside Run (atomic).
+	// qgen is bumped — before the matching active increment — on every
+	// wake, so the arbiter can tell "continuously quiescent since I
+	// looked" apart from "woke and re-quiesced behind my back".
+	active int64
+	qgen   uint64
+
+	// arbMu guards the deterministic arbiter: the resources map, the
+	// sorted grant-scan order, and all per-resource waiter state.
+	arbMu     sync.Mutex
 	resources map[int]*resource
+	resIDs    []int // sorted resource ids: the grant scan order
+
+	// barMu guards the barriers map and all episode state.
+	barMu    sync.Mutex
+	barriers map[int]*barrier
 }
 
 // NewCluster builds a cluster with cfg.Procs processors.
@@ -279,6 +333,8 @@ func NewCluster(cfg Config) *Cluster {
 			handlers: map[string]Handler{},
 		}
 		p.mailboxes = map[mailboxKey]*mailbox{}
+		p.resw.proc = i
+		p.resw.ready = make(chan struct{}, 1)
 		c.procs = append(c.procs, p)
 	}
 	return c
@@ -296,23 +352,24 @@ func (c *Cluster) Proc(i int) *Proc { return c.procs[i] }
 // Run executes body once per processor, each on its own goroutine, and
 // waits for all of them to return. This is the SPMD entry point.
 func (c *Cluster) Run(body func(p *Proc)) {
-	c.schedMu.Lock()
+	// p.running is written here before the goroutines launch (the go
+	// statement publishes it) and cleared by each processor's own
+	// goroutine at exit; it is only ever read by that goroutine.
 	for _, p := range c.procs {
 		p.running = true
 	}
-	c.active += len(c.procs)
-	c.schedMu.Unlock()
+	atomic.AddUint64(&c.qgen, 1)
+	atomic.AddInt64(&c.active, int64(len(c.procs)))
 
 	var wg sync.WaitGroup
 	for _, p := range c.procs {
 		wg.Add(1)
 		go func(p *Proc) {
 			defer func() {
-				c.schedMu.Lock()
 				p.running = false
-				c.active--
-				c.grantQuiescentLocked()
-				c.schedMu.Unlock()
+				if atomic.AddInt64(&c.active, -1) == 0 {
+					c.arbitrate()
+				}
 				wg.Done()
 			}()
 			body(p)
@@ -347,25 +404,59 @@ func (c *Cluster) ResetClocks() {
 	}
 }
 
-// blockLocked marks the calling processor blocked for quiescence
+// blockSelf marks the calling processor blocked for quiescence
 // accounting and reports whether it was counted (goroutines outside
-// Cluster.Run are never counted). schedMu must be held.
-func (c *Cluster) blockLocked(p *Proc) bool {
+// Cluster.Run are never counted). The caller must have already
+// published its wait state under the shard lock its waker takes — the
+// mailbox waiting flag, the barrier slot, or the resource waiter — so
+// the matching wake cannot be missed; blockSelf may be (and is) invoked
+// while still holding that shard lock. The decrement that reaches zero
+// runs the arbiter.
+func (c *Cluster) blockSelf(p *Proc) bool {
 	if p == nil || !p.running {
 		return false
 	}
-	c.active--
-	c.grantQuiescentLocked()
+	if atomic.AddInt64(&c.active, -1) == 0 {
+		c.arbitrate()
+	}
 	return true
 }
 
-// unblockLocked reverses a counted blockLocked. The waker calls it at
-// signal time — before the blocked goroutine actually resumes — so the
-// runnable count never under-reports and quiescence is never declared
-// while a wake-up is in flight. schedMu must be held.
-func (c *Cluster) unblockLocked(counted bool) {
+// unblock reverses a counted blockSelf. The waker calls it at signal
+// time — before the blocked goroutine can resume — so the runnable
+// count never under-reports and quiescence is never declared while a
+// wake-up is in flight. The epoch bump precedes the increment: an
+// arbiter that re-reads an unchanged qgen under arbMu knows no wake
+// slipped in between its quiescence observation and its grants.
+func (c *Cluster) unblock(counted bool) {
 	if counted {
-		c.active++
+		atomic.AddUint64(&c.qgen, 1)
+		atomic.AddInt64(&c.active, 1)
+	}
+}
+
+// arbitrate runs the conservative arbiter if the cluster is quiescent.
+// It is called by whichever goroutine's decrement brought the runnable
+// count to zero (and by uncounted goroutines about to wait, which never
+// decrement). The epoch check makes the decision sound without a global
+// scheduler lock: grants happen only when no wake occurred between
+// observing active == 0 and holding arbMu. If a wake did slip in, the
+// goroutine that re-quiesced the cluster owns a fresh arbitrate call of
+// its own, so bowing out (or retrying with the fresh epoch) never
+// strands a grantable waiter.
+func (c *Cluster) arbitrate() {
+	for {
+		gen := atomic.LoadUint64(&c.qgen)
+		if atomic.LoadInt64(&c.active) != 0 {
+			return
+		}
+		c.arbMu.Lock()
+		if atomic.LoadInt64(&c.active) == 0 && atomic.LoadUint64(&c.qgen) == gen {
+			c.grantQuiescentLocked()
+			c.arbMu.Unlock()
+			return
+		}
+		c.arbMu.Unlock()
 	}
 }
 
@@ -390,9 +481,27 @@ type Proc struct {
 	hmu      sync.RWMutex
 	handlers map[string]Handler
 
-	mailboxes map[mailboxKey]*mailbox // guarded by c.schedMu
+	// mbMu is this processor's mailbox shard lock: it guards the
+	// mailboxes map and every queue in it. A sender takes only the
+	// *target's* shard, so deliveries to different processors never
+	// contend (DESIGN.md §10).
+	mbMu      sync.Mutex
+	mailboxes map[mailboxKey]*mailbox // guarded by mbMu
+	mbFree    []*mailbox              // guarded by mbMu: drained mailboxes for reuse
 	sendSeq   int64                   // owner-goroutine only: per-sender message sequence
-	running   bool                    // guarded by c.schedMu: inside Cluster.Run
+	drainBuf  []envelope              // owner-goroutine only: reused by drain
+
+	// resw is the processor's reusable arbiter waiter: a processor has at
+	// most one resource acquire in flight (AcquireResource blocks), so the
+	// waiter and its one-token grant channel are allocated once. inflight
+	// guards the invariant.
+	resw     resWaiter
+	inflight atomic.Bool
+	// running reports whether the processor is inside Cluster.Run. It is
+	// written by Run before the goroutines launch (published by the go
+	// statement) and cleared by the processor's own goroutine at exit;
+	// it is read only by that goroutine, so it needs no lock.
+	running bool
 }
 
 // envelope is one in-flight message. (sentAt, from, seq) is its total
@@ -409,18 +518,34 @@ type envelope struct {
 
 // before reports whether e precedes o in the mailbox total order.
 func (e envelope) before(o envelope) bool {
-	if e.sentAt != o.sentAt {
-		return e.sentAt < o.sentAt
+	return compareEnvelopes(e, o) < 0
+}
+
+// compareEnvelopes is the single definition of the mailbox total order,
+// as the three-way comparison the drain sort wants. Keys are unique —
+// one sender's seq strictly increases — so the zero case only occurs
+// for an envelope against itself.
+func compareEnvelopes(e, o envelope) int {
+	switch {
+	case e.sentAt != o.sentAt:
+		if e.sentAt < o.sentAt {
+			return -1
+		}
+		return 1
+	case e.from != o.from:
+		return e.from - o.from
+	case e.seq != o.seq:
+		if e.seq < o.seq {
+			return -1
+		}
+		return 1
 	}
-	if e.from != o.from {
-		return e.from < o.from
-	}
-	return e.seq < o.seq
+	return 0
 }
 
 // mailboxKey identifies a mailbox without allocating a composite
-// string; lookups happen inside the schedMu critical section on every
-// send and receive, so they must stay cheap.
+// string; lookups happen inside the target shard's critical section on
+// every send and receive, so they must stay cheap.
 type mailboxKey struct {
 	kind string
 	tag  int
@@ -430,7 +555,7 @@ type mailboxKey struct {
 // kept unsorted (arrival order) and sorted by the total-order key at
 // drain time.
 type mailbox struct {
-	cond        *sync.Cond // on Cluster.schedMu
+	cond        *sync.Cond // on the owning processor's mbMu
 	msgs        []envelope
 	waiting     bool // the owning processor is blocked on this mailbox
 	waitCounted bool // ... and was counted in Cluster.active
@@ -471,6 +596,18 @@ func (p *Proc) Advance(dt float64) {
 	p.clock += dt
 	p.busyUS += dt
 	p.mu.Unlock()
+}
+
+// clockThenAdvance returns the current clock and then charges dt of
+// local compute, in one critical section (the Send hot path reads the
+// send timestamp and pays the injection overhead back to back).
+func (p *Proc) clockThenAdvance(dt float64) float64 {
+	p.mu.Lock()
+	t := p.clock
+	p.clock += dt
+	p.busyUS += dt
+	p.mu.Unlock()
+	return t
 }
 
 // AdvanceTo moves the clock forward to at least t (message causality).
@@ -599,24 +736,24 @@ func (p *Proc) Send(target int, kind string, tag int, payload any, bytes int) {
 	if target == p.id {
 		panic("sim: self-send")
 	}
-	sentAt := p.Clock()
-	// Injection software overhead on the sender.
-	p.Advance(cfg.XferUS(bytes) / 2)
+	// Injection software overhead on the sender; the message's send time
+	// is the clock before that charge.
+	sentAt := p.clockThenAdvance(cfg.XferUS(bytes) / 2)
 	p.sendSeq++
 	env := envelope{from: p.id, seq: p.sendSeq, sentAt: sentAt, payload: payload, bytes: bytes}
 
 	c := p.c
 	tgt := c.procs[target]
-	c.schedMu.Lock()
+	tgt.mbMu.Lock()
 	mb := tgt.mailboxLocked(kind, tag)
 	mb.msgs = append(mb.msgs, env)
 	if mb.waiting {
 		mb.waiting = false
-		c.unblockLocked(mb.waitCounted)
+		c.unblock(mb.waitCounted)
 		mb.waitCounted = false
 		mb.cond.Broadcast()
 	}
-	c.schedMu.Unlock()
+	tgt.mbMu.Unlock()
 
 	c.Stats.CountP(p.id, kind, cfg.Frags(bytes), cfg.WireBytes(bytes))
 }
@@ -628,7 +765,9 @@ func (p *Proc) Send(target int, kind string, tag int, payload any, bytes int) {
 // which is only deterministic when at most one message is outstanding.
 func (p *Proc) Recv(kind string, tag int) (from int, payload any) {
 	cfg := &p.c.cfg
-	env := p.drain(kind, tag, 1)[0]
+	envs := p.drain(kind, tag, 1)
+	env := envs[0]
+	p.reclaimDrainBuf(envs)
 	p.advanceTo(env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes))
 	return env.from, env.payload
 }
@@ -651,41 +790,102 @@ func (p *Proc) RecvEach(kind string, tag int, n int, fn func(from int, payload a
 		return
 	}
 	cfg := &p.c.cfg
-	for _, env := range p.drain(kind, tag, n) {
-		p.advanceTo(env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes))
-		if fn != nil {
-			fn(env.from, env.payload)
+	envs := p.drain(kind, tag, n)
+	if fn == nil {
+		// No per-message charges interleave, so the max/plus folds
+		// collapse: the final clock is the max arrival time. One clock
+		// update instead of n.
+		last := 0.0
+		for _, env := range envs {
+			if t := env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes); t > last {
+				last = t
+			}
 		}
+		p.advanceTo(last)
+		p.reclaimDrainBuf(envs)
+		return
 	}
+	for _, env := range envs {
+		p.advanceTo(env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes))
+		fn(env.from, env.payload)
+	}
+	p.reclaimDrainBuf(envs)
 }
 
 // drain removes and returns the n least-keyed messages of (kind, tag),
-// blocking until at least n are present.
+// blocking until at least n are present. The wait-state publication and
+// the runnable-count decrement happen under p.mbMu — the same lock a
+// sender takes to deliver — so the paired wake can neither be missed
+// nor run before the decrement (blockSelf may arbitrate while mbMu is
+// held; the grant path never takes a mailbox shard, so that nesting is
+// safe).
 func (p *Proc) drain(kind string, tag int, n int) []envelope {
 	c := p.c
-	c.schedMu.Lock()
+	p.mbMu.Lock()
 	mb := p.mailboxLocked(kind, tag)
 	for len(mb.msgs) < n {
 		mb.waiting = true
-		mb.waitCounted = c.blockLocked(p)
+		mb.waitCounted = c.blockSelf(p)
 		mb.cond.Wait()
 	}
-	sort.Slice(mb.msgs, func(i, j int) bool { return mb.msgs[i].before(mb.msgs[j]) })
-	out := make([]envelope, n)
+	if len(mb.msgs) > 1 {
+		slices.SortFunc(mb.msgs, compareEnvelopes)
+	}
+	// The result buffer is checked out of the per-proc scratch slot and
+	// returned by the caller via reclaimDrainBuf once the envelopes are
+	// consumed. The nil-swap makes a nested receive (a RecvEach callback
+	// that itself receives) allocate its own buffer instead of silently
+	// corrupting the one still being iterated.
+	buf := p.drainBuf
+	p.drainBuf = nil
+	if cap(buf) < n {
+		buf = make([]envelope, n)
+	}
+	out := buf[:n]
 	copy(out, mb.msgs[:n])
-	rest := append([]envelope(nil), mb.msgs[n:]...)
-	mb.msgs = rest
-	c.schedMu.Unlock()
+	// Shift the remainder down in place and zero the vacated tail so the
+	// retained capacity does not pin delivered payloads.
+	m := copy(mb.msgs, mb.msgs[n:])
+	for i := m; i < len(mb.msgs); i++ {
+		mb.msgs[i] = envelope{}
+	}
+	mb.msgs = mb.msgs[:m]
+	if m == 0 {
+		// Phase tags are typically unique per episode (the CHAOS executor
+		// tags exchanges with the time step), so a drained mailbox is
+		// usually dead: recycle it — object, cond, and message capacity —
+		// instead of leaking one map entry per phase. drain is owner-only,
+		// so nobody can be waiting on the mailbox we just emptied.
+		delete(p.mailboxes, mailboxKey{kind: kind, tag: tag})
+		p.mbFree = append(p.mbFree, mb)
+	}
+	p.mbMu.Unlock()
 	return out
 }
 
+// reclaimDrainBuf returns a consumed drain result to the scratch slot,
+// dropping payload references so the buffer does not pin delivered
+// messages until the next receive.
+func (p *Proc) reclaimDrainBuf(envs []envelope) {
+	for i := range envs {
+		envs[i] = envelope{}
+	}
+	p.drainBuf = envs
+}
+
 // mailboxLocked returns the mailbox for (kind, tag), creating it if
-// needed. schedMu must be held.
+// needed. The processor's mbMu must be held.
 func (p *Proc) mailboxLocked(kind string, tag int) *mailbox {
 	key := mailboxKey{kind: kind, tag: tag}
 	mb := p.mailboxes[key]
 	if mb == nil {
-		mb = &mailbox{cond: sync.NewCond(&p.c.schedMu)}
+		if n := len(p.mbFree); n > 0 {
+			mb = p.mbFree[n-1]
+			p.mbFree[n-1] = nil
+			p.mbFree = p.mbFree[:n-1]
+		} else {
+			mb = &mailbox{cond: sync.NewCond(&p.mbMu)}
+		}
 		p.mailboxes[key] = mb
 	}
 	return mb
@@ -694,9 +894,9 @@ func (p *Proc) mailboxLocked(kind string, tag int) *mailbox {
 // resource is one deterministically arbitrated exclusive resource (the
 // TreadMarks lock managers are built on it). lastVal is an opaque value
 // the releaser leaves for the next grantee — the protocol layer stores
-// the simulated time the resource became free.
+// the simulated time the resource became free. All fields are guarded
+// by Cluster.arbMu.
 type resource struct {
-	cond    *sync.Cond // on Cluster.schedMu
 	held    bool
 	lastVal float64
 	waiters []*resWaiter
@@ -712,16 +912,27 @@ type resWaiter struct {
 	key      float64
 	proc     int
 	counted  bool
-	granted  bool
 	grantVal float64
 	onGrant  func()
+	// ready receives one token at the grant instant — after every onGrant
+	// hook of that quiescent instant has run, so no grantee resumes while
+	// another grant's conservative snapshot is still being taken. The
+	// send publishes grantVal to the waiter. The channel has capacity one
+	// and is reused across acquires (at most one is in flight per Proc).
+	ready chan struct{}
 }
 
+// resourceLocked returns the resource for id, creating it if needed and
+// keeping the sorted grant-scan order current. arbMu must be held.
 func (c *Cluster) resourceLocked(id int) *resource {
 	r := c.resources[id]
 	if r == nil {
-		r = &resource{cond: sync.NewCond(&c.schedMu)}
+		r = &resource{}
 		c.resources[id] = r
+		i := sort.SearchInts(c.resIDs, id)
+		c.resIDs = append(c.resIDs, 0)
+		copy(c.resIDs[i+1:], c.resIDs[i:])
+		c.resIDs[i] = id
 	}
 	return r
 }
@@ -747,55 +958,76 @@ func (c *Cluster) resourceLocked(id int) *resource {
 // call back into blocking simulator operations.
 func (p *Proc) AcquireResource(res int, key float64, onGrant func()) float64 {
 	c := p.c
-	c.schedMu.Lock()
+	if !p.inflight.CompareAndSwap(false, true) {
+		panic(fmt.Sprintf("sim: concurrent AcquireResource on processor %d", p.id))
+	}
+	w := &p.resw
+	w.key = key
+	w.onGrant = onGrant
+	w.counted = p.running
+	c.arbMu.Lock()
 	r := c.resourceLocked(res)
-	// counted must be decided before the arbiter can see the waiter: the
-	// quiescence check below may grant this very request and re-increment
-	// the runnable count based on it.
-	w := &resWaiter{key: key, proc: p.id, onGrant: onGrant, counted: p.running}
 	r.waiters = append(r.waiters, w)
+	c.arbMu.Unlock()
+	// The waiter is published before the runnable count drops, so the
+	// decrement that reaches zero — ours, or a later blocker's, which is
+	// ordered after ours through the counter's RMW chain — always finds
+	// this request when it arbitrates. While we are still counted, no
+	// other decrement can reach zero, so no grant can race the append.
 	if w.counted {
-		c.active--
+		if atomic.AddInt64(&c.active, -1) == 0 {
+			c.arbitrate()
+		}
+	} else {
+		// A goroutine outside Run never counts toward quiescence, but the
+		// cluster may already be quiescent right now: decide immediately,
+		// as the old global-lock scheduler did.
+		c.arbitrate()
 	}
-	c.grantQuiescentLocked()
-	for !w.granted {
-		r.cond.Wait()
-	}
-	val := w.grantVal
-	c.schedMu.Unlock()
-	return val
+	<-w.ready
+	p.inflight.Store(false)
+	return w.grantVal
 }
 
 // ReleaseResource marks res free and records val for the next grantee.
 // The grant itself happens at the next quiescent instant.
 func (p *Proc) ReleaseResource(res int, val float64) {
 	c := p.c
-	c.schedMu.Lock()
+	c.arbMu.Lock()
 	r := c.resourceLocked(res)
 	if !r.held {
-		c.schedMu.Unlock()
+		c.arbMu.Unlock()
 		panic(fmt.Sprintf("sim: release of resource %d that is not held", res))
 	}
 	r.held = false
 	r.lastVal = val
 	c.Sync.recordRelease(r.holder, res, val-r.grantAt)
-	c.grantQuiescentLocked()
-	c.schedMu.Unlock()
+	c.arbMu.Unlock()
+	// A counted releaser is itself runnable, so the cluster cannot be
+	// quiescent here — the freed resource is granted when the last
+	// processor blocks. An uncounted releaser may be the only activity
+	// left, so it must check for quiescence itself.
+	if !p.running {
+		c.arbitrate()
+	}
 }
 
 // grantQuiescentLocked performs the deterministic arbitration: at
-// cluster quiescence, every free resource with waiters is granted to its
-// least (key, proc) waiter. schedMu must be held.
+// cluster quiescence, every free resource with waiters is granted to
+// its least (key, proc) waiter. arbMu must be held and the cluster
+// verified quiescent (arbitrate's epoch check).
+//
+// Grants are two-phase: phase one decides every grant of this quiescent
+// instant and runs its onGrant hook; phase two re-counts the grantees
+// runnable and closes their ready channels. No grantee can resume until
+// phase two, so every conservative snapshot an onGrant hook takes still
+// sees the cluster exactly as it was at the quiescent instant — with
+// the old global lock this fell out of cond.Wait needing the lock back;
+// here it must be explicit.
 func (c *Cluster) grantQuiescentLocked() {
-	if c.active != 0 || len(c.resources) == 0 {
-		return
-	}
-	ids := make([]int, 0, len(c.resources))
-	for id := range c.resources {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	var buf [4]*resWaiter
+	granted := buf[:0]
+	for _, id := range c.resIDs {
 		r := c.resources[id]
 		if r.held || len(r.waiters) == 0 {
 			continue
@@ -810,7 +1042,6 @@ func (c *Cluster) grantQuiescentLocked() {
 		w := r.waiters[best]
 		r.waiters = append(r.waiters[:best], r.waiters[best+1:]...)
 		r.held = true
-		w.granted = true
 		w.grantVal = r.lastVal
 		r.holder = w.proc
 		r.grantAt = w.key
@@ -821,8 +1052,11 @@ func (c *Cluster) grantQuiescentLocked() {
 		if w.onGrant != nil {
 			w.onGrant()
 		}
-		c.unblockLocked(w.counted)
-		r.cond.Broadcast()
+		granted = append(granted, w)
+	}
+	for _, w := range granted {
+		c.unblock(w.counted)
+		w.ready <- struct{}{}
 	}
 }
 
@@ -833,7 +1067,7 @@ func (c *Cluster) grantQuiescentLocked() {
 type CombineFunc func(contrib []any) (replies []any, replyBytes []int, combineUS float64)
 
 type barrier struct {
-	cond           *sync.Cond // on Cluster.schedMu
+	cond           *sync.Cond // on Cluster.barMu
 	gen            int64
 	waiting        int
 	blockedRunners int
@@ -845,12 +1079,14 @@ type barrier struct {
 	release        float64
 }
 
+// barrierLocked returns the barrier for id, creating it if needed.
+// barMu must be held.
 func (c *Cluster) barrierLocked(id int) *barrier {
 	b := c.barriers[id]
 	if b == nil {
 		n := len(c.procs)
 		b = &barrier{contrib: make([]any, n), cbytes: make([]int, n), arrive: make([]float64, n)}
-		b.cond = sync.NewCond(&c.schedMu)
+		b.cond = sync.NewCond(&c.barMu)
 		c.barriers[id] = b
 	}
 	return b
@@ -895,7 +1131,7 @@ func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc)
 	}
 
 	c := p.c
-	c.schedMu.Lock()
+	c.barMu.Lock()
 	b := c.barrierLocked(id)
 	gen := b.gen
 	b.contrib[p.id] = data
@@ -932,11 +1168,16 @@ func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc)
 		b.rbytesStash = rbytes
 		b.waiting = 0
 		b.gen++
-		c.active += b.blockedRunners
-		b.blockedRunners = 0
+		// Bulk wake: one epoch bump covers the whole release (the last
+		// arriver is runnable, so no arbitration can be concluding).
+		if b.blockedRunners > 0 {
+			atomic.AddUint64(&c.qgen, 1)
+			atomic.AddInt64(&c.active, int64(b.blockedRunners))
+			b.blockedRunners = 0
+		}
 		b.cond.Broadcast()
 	} else {
-		if c.blockLocked(p) {
+		if c.blockSelf(p) {
 			b.blockedRunners++
 		}
 		for gen == b.gen {
@@ -952,7 +1193,7 @@ func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc)
 	if b.rbytesStash != nil {
 		rb = b.rbytesStash[p.id]
 	}
-	c.schedMu.Unlock()
+	c.barMu.Unlock()
 
 	depart := release
 	if p.id != 0 {

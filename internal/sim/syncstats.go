@@ -9,6 +9,16 @@
 // ordered by its own execution, which is deterministic by DESIGN.md
 // §7), and reads merge the shards in processor-id order so the
 // non-associative float additions happen in one canonical order.
+//
+// Locking contract under the sharded scheduler (DESIGN.md §10): shard
+// mutexes are leaf locks. recordGrant and recordRelease run under
+// Cluster.arbMu — recordGrant at the quiescent grant instant (the
+// grantee is blocked, so its shard cannot be touched concurrently by
+// its owner), recordRelease on the releasing holder's own goroutine
+// inside ReleaseResource. CountGrantBytes runs on the grantee's own
+// goroutine after the grant, which the grant channel orders after the
+// arbiter's update of the same shard. Nothing may block on a scheduler
+// lock (mbMu, barMu, arbMu) while holding a shard mutex.
 package sim
 
 import (
@@ -61,15 +71,24 @@ type LockKey struct {
 	Proc int // acquiring/holding processor
 }
 
-// syncShard is one processor's private cell map. Its mutex is ordered
-// strictly inside schedMu (taken while schedMu is held, never the
-// reverse) and inside nothing else.
+// syncShard is one processor's private cell map. Its mutex is a leaf of
+// the scheduler's locking hierarchy (DESIGN.md §10): it is taken while
+// Cluster.arbMu is held (the arbiter's recordGrant/recordRelease run at
+// the grant instant) and by the grantee's own goroutine
+// (CountGrantBytes), and nothing is ever locked under it. lastRes/last
+// memoize the most recent cell: a grant chain hammers one resource, and
+// the memo keeps the arbiter's critical section off the map.
 type syncShard struct {
-	mu    sync.Mutex
-	byRes map[int]*LockStat
+	mu      sync.Mutex
+	byRes   map[int]*LockStat
+	lastRes int
+	last    *LockStat
 }
 
 func (s *syncShard) cell(res int) *LockStat {
+	if s.last != nil && s.lastRes == res {
+		return s.last
+	}
 	ls := s.byRes[res]
 	if ls == nil {
 		ls = &LockStat{}
@@ -78,6 +97,7 @@ func (s *syncShard) cell(res int) *LockStat {
 		}
 		s.byRes[res] = ls
 	}
+	s.lastRes, s.last = res, ls
 	return ls
 }
 
@@ -216,6 +236,7 @@ func (s *SyncStats) Reset() {
 	clearShard := func(sh *syncShard) {
 		sh.mu.Lock()
 		sh.byRes = map[int]*LockStat{}
+		sh.lastRes, sh.last = 0, nil
 		sh.mu.Unlock()
 	}
 	clearShard(&s.global)
