@@ -18,11 +18,9 @@ import (
 	"repro/internal/apps"
 	"repro/internal/apps/moldyn"
 	"repro/internal/apps/nbf"
-	"repro/internal/apps/spmv"
 	"repro/internal/bench"
 	"repro/internal/chaos"
 	"repro/internal/core"
-	"repro/internal/mem"
 	"repro/internal/rsd"
 	"repro/internal/sim"
 	"repro/internal/tmk"
@@ -58,7 +56,10 @@ func run(w io.Writer, sweep string, n, procs int) error {
 	case "ttable":
 		sweepTTable(w, n, procs)
 	case "memory":
-		return sweepMemory(w, n, procs)
+		// The §9 capacity sweep lives in bench.RenderMemorySweep so the
+		// scenario engine renders identical bytes (cmd/scenario).
+		_, err := bench.RenderMemorySweep(w, bench.MemorySweepParams{N: n, Procs: procs})
+		return err
 	default:
 		return fmt.Errorf("unknown sweep: %s", sweep)
 	}
@@ -236,92 +237,6 @@ func sweepTTable(w io.Writer, n, procs int) {
 	}
 	fmt.Fprintln(w, "\nThe paper used the distributed table for moldyn (replication did not")
 	fmt.Fprintln(w, "fit) and notes the resulting inspector communication.")
-}
-
-// sweepMemory is the §9 capacity sweep: the per-processor table budget
-// is swept across the replicated/distributed/paged crossover for a
-// whole-table working set (moldyn) and a localized one (banded spmv),
-// and then the moldyn anecdote is run twice and asserted — at the
-// paper-scale budget the policy must reject the replicated table and
-// the distributed-table inspector traffic must land in the 85 MB /
-// 878-message regime, bit-identically.
-func sweepMemory(w io.Writer, n, procs int) error {
-	fmt.Fprintf(w, "S9: memory budget vs translation-table organization (%d procs)\n\n", procs)
-
-	fmt.Fprintf(w, "moldyn N=%d (whole-table working set)\n", n)
-	fmt.Fprintf(w, "%14s%16s%14s%14s%14s\n", "budget (KB)", "plan", "ttable msgs", "ttable (MB)", "peak/proc KB")
-	moldynWork := mem.TablePages(n)
-	for _, budget := range memBudgets(n, procs, moldynWork) {
-		plan := mem.PlanTable(budget, n, procs, moldynWork)
-		p := moldyn.DefaultParams(n, procs)
-		p.TableKind = plan.Kind
-		p.TableCachePages = plan.CachePages
-		r := moldyn.RunChaos(moldyn.Generate(p))
-		fmt.Fprintf(w, "%14d%16s%14d%14.2f%14.1f\n",
-			budget>>10, plan, int64(r.Detail["msgs.chaos.ttable"]),
-			r.Detail["mb.chaos.ttable"], r.MaxPeakMB()*1e3)
-	}
-
-	// spmv's inspector runs once, before the timed window, so the
-	// columns here are storage, not traffic: the charged table bytes
-	// track the budget as the cache bound shrinks.
-	sn := 4 * n
-	fmt.Fprintf(w, "\nspmv N=%d, banded (localized working set)\n", sn)
-	fmt.Fprintf(w, "%14s%16s%14s%14s\n", "budget (KB)", "plan", "table KB/proc", "peak/proc KB")
-	sp := spmv.DefaultParams(sn, procs)
-	sp.FarPerRow = 0
-	spmvWork := sp.WorkTablePages()
-	for _, budget := range memBudgets(sn, procs, spmvWork) {
-		plan := mem.PlanTable(budget, sn, procs, spmvWork)
-		p := sp
-		p.TableKind = plan.Kind
-		p.TableCachePages = plan.CachePages
-		r := spmv.RunChaos(spmv.Generate(p))
-		fmt.Fprintf(w, "%14d%16s%14.1f%14.1f\n",
-			budget>>10, plan, float64(r.MemCat(chaos.MemCatTable).PeakBytes)/1e3,
-			r.MaxPeakMB()*1e3)
-	}
-	fmt.Fprintln(w, "\nShrinking the budget forces replicated -> (paged, if the working set")
-	fmt.Fprintln(w, "fits) -> distributed; a cache below the working set would thrash, so")
-	fmt.Fprintln(w, "the policy degrades straight to the segment-only table.")
-
-	// The anecdote, run twice: the assertion and the bit-identity are
-	// both part of the sweep's contract.
-	rep, err := bench.RunMemAnecdote()
-	if err != nil {
-		return err
-	}
-	rep2, err := bench.RunMemAnecdote()
-	if err != nil {
-		return err
-	}
-	if *rep != *rep2 {
-		return fmt.Errorf("anecdote not byte-identical across runs: %+v vs %+v", rep, rep2)
-	}
-	p := bench.MoldynAnecdoteParams()
-	fmt.Fprintf(w, "\nThe moldyn anecdote (asserted, run twice, bit-identical):\n")
-	fmt.Fprintf(w, "  N=%d, %d procs, %d steps, list updated every %d; table budget %d KB/proc\n",
-		p.N, p.Procs, p.Steps, p.UpdateEvery, mem.PaperTableBudget>>10)
-	fmt.Fprintf(w, "  policy: replicated table (%d KB) rejected -> %s\n",
-		mem.ReplicatedBytes(p.N)>>10, rep.Plan)
-	fmt.Fprintf(w, "  inspector translation traffic: %.1f MB in %d messages (paper: 85 MB in 878)\n",
-		float64(rep.TtableBytes)/1e6, rep.TtableMsgs)
-	fmt.Fprintf(w, "  peak footprint %.1f KB/proc, simulated time %.1f s\n", rep.PeakKB, rep.TimeSec)
-	return nil
-}
-
-// memBudgets returns table budgets spanning the organization crossover
-// for an n-entry table with the given working set: comfortably above
-// the replicated table, just below it, at the paged working set (if it
-// is below replication), and at the bare segment.
-func memBudgets(n, procs, workPages int) []int64 {
-	repl := mem.ReplicatedBytes(n)
-	seg := mem.SegmentBytes(n, procs)
-	budgets := []int64{repl + (8 << 10), repl - 1}
-	if paged := seg + int64(workPages)*mem.TablePageBytes; paged < repl {
-		budgets = append(budgets, paged)
-	}
-	return append(budgets, seg)
 }
 
 func mustEqual(a, b *apps.Result) {

@@ -1,0 +1,237 @@
+// Command scenario loads, validates, and executes experiment spec
+// files (internal/scenario): the paper tables, the §9 memory sweep,
+// and generic registered-application runs, as data instead of bespoke
+// flag wrappers. A canned-experiment scenario renders byte-identically
+// to the corresponding command (cmd/table1..5, cmd/ablate
+// -sweep=memory), so the existing golden fixtures are the contract.
+//
+//	scenario run [-repro] [-procs N] [-out dir] [-metrics] <file|dir|dir/...>...
+//	scenario validate <file|dir|dir/...>...
+//	scenario list <file|dir|dir/...>...
+//
+// run exits non-zero when any assertion band is violated, when the
+// repro check finds a run-to-run difference, or when a spec fails to
+// load; validate exits non-zero on the first invalid spec.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
+	case "run":
+		err = runCmd(os.Stdout, args)
+	case "validate":
+		err = validateCmd(os.Stdout, args)
+	case "list":
+		err = listCmd(os.Stdout, args)
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown command %q\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  scenario run [-repro] [-procs N] [-out dir] [-metrics] <file|dir|dir/...>...
+  scenario validate <file|dir|dir/...>...
+  scenario list <file|dir|dir/...>...`)
+}
+
+// runOpts carries the run flags; main_test drives run() directly.
+type runOpts struct {
+	repro   bool   // force the run-twice byte-diff on every spec
+	procs   int    // override every spec's processor count (0 = as specified)
+	outDir  string // also write each rendering to <outDir>/<name>.txt
+	metrics bool   // print the flattened metrics after each rendering
+}
+
+func runCmd(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
+	opts := runOpts{}
+	fs.BoolVar(&opts.repro, "repro", false, "run every scenario twice and byte-diff the results")
+	fs.IntVar(&opts.procs, "procs", 0, "override every scenario's processor count (0 = as specified)")
+	fs.StringVar(&opts.outDir, "out", "", "also write each scenario's rendered output to <dir>/<name>.txt")
+	fs.BoolVar(&opts.metrics, "metrics", false, "print the flattened metrics after each rendering")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files, err := expand(fs.Args())
+	if err != nil {
+		return err
+	}
+	return run(w, files, opts)
+}
+
+// run executes every spec; all scenarios run (and their outputs land
+// in -out) before the accumulated violations fail the invocation.
+func run(w io.Writer, files []string, opts runOpts) error {
+	if opts.outDir != "" {
+		if err := os.MkdirAll(opts.outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	var violated []string
+	for _, f := range files {
+		spec, err := scenario.Load(f)
+		if err != nil {
+			return err
+		}
+		if opts.repro {
+			spec.Repro = true
+		}
+		if opts.procs > 0 {
+			overrideProcs(spec, opts.procs)
+		}
+		if len(files) > 1 {
+			fmt.Fprintf(w, "== %s (%s)\n\n", spec.Name, f)
+		}
+		out, err := scenario.Run(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out.Rendered)
+		if opts.metrics {
+			fmt.Fprintf(w, "\n-- metrics (%d)\n%s", len(out.Metrics), out.MetricsText())
+		}
+		if opts.outDir != "" {
+			path := filepath.Join(opts.outDir, spec.Name+".txt")
+			if err := os.WriteFile(path, []byte(out.Rendered), 0o644); err != nil {
+				return err
+			}
+		}
+		for _, v := range out.Violations {
+			fmt.Fprintf(w, "\nVIOLATION %s: %s\n", spec.Name, v)
+			violated = append(violated, fmt.Sprintf("%s: %s", spec.Name, v))
+		}
+		if len(files) > 1 {
+			fmt.Fprintln(w)
+		}
+	}
+	if len(violated) > 0 {
+		return fmt.Errorf("%d assertion violation(s):\n  %s",
+			len(violated), strings.Join(violated, "\n  "))
+	}
+	return nil
+}
+
+// overrideProcs points every run of the spec at one cluster size — the
+// nightly matrix leg reuses one paper-scale spec set at 16 and 32
+// processors.
+func overrideProcs(spec *scenario.Spec, procs int) {
+	if spec.Experiment == "app" {
+		spec.Procs = []int{procs}
+		return
+	}
+	if spec.Params == nil {
+		spec.Params = map[string]int{}
+	}
+	spec.Params["procs"] = procs
+}
+
+func validateCmd(w io.Writer, args []string) error {
+	files, err := expand(args)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		spec, err := scenario.Load(f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: ok (%s, %s)\n", f, spec.Name, spec.Experiment)
+	}
+	fmt.Fprintf(w, "%d scenario(s) valid\n", len(files))
+	return nil
+}
+
+func listCmd(w io.Writer, args []string) error {
+	files, err := expand(args)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		spec, err := scenario.Load(f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-16s %-8s %-28s %s\n", spec.Name, spec.Experiment, f, spec.Description)
+	}
+	return nil
+}
+
+// expand resolves the operands: a file is taken as-is, a directory
+// lists its spec files (non-recursive), and a trailing "/..." walks
+// the tree — `scenario validate ./scenarios/...` is the CI lint.
+func expand(args []string) ([]string, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no scenario files given")
+	}
+	var out []string
+	for _, a := range args {
+		switch {
+		case strings.HasSuffix(a, "/..."):
+			root := strings.TrimSuffix(a, "/...")
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() && isSpecFile(path) {
+					out = append(out, path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			info, err := os.Stat(a)
+			if err != nil {
+				return nil, err
+			}
+			if info.IsDir() {
+				files, err := scenario.Files(a)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, files...)
+				continue
+			}
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scenario files found under %s", strings.Join(args, " "))
+	}
+	return out, nil
+}
+
+func isSpecFile(path string) bool {
+	switch filepath.Ext(path) {
+	case ".yaml", ".yml", ".json":
+		return true
+	}
+	return false
+}

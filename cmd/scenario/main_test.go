@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/golden"
+	"repro/internal/raceflag"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden fixtures")
+
+// TestGoldenScenarios runs every shipped CI-size scenario and diffs
+// the output against its golden fixture. For the canned experiments
+// the fixture is the *other command's* checked-in golden
+// (cmd/table1..5, cmd/ablate): a scenario file must reproduce the
+// bespoke program's bytes exactly — that cross-command identity is the
+// engine's core contract. The shipped specs carry repro: true, so each
+// rendering here also run-twice byte-diffs itself.
+func TestGoldenScenarios(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("golden render skipped under -race (see internal/raceflag)")
+	}
+	cases := []struct{ spec, fixture string }{
+		{"../../scenarios/table1.yaml", "../table1/testdata/table1.golden"},
+		{"../../scenarios/table2.yaml", "../table2/testdata/table2.golden"},
+		{"../../scenarios/table3.yaml", "../table3/testdata/table3.golden"},
+		{"../../scenarios/table4.yaml", "../table4/testdata/table4.golden"},
+		{"../../scenarios/table5.yaml", "../table5/testdata/table5.golden"},
+		{"../../scenarios/memory.yaml", "../ablate/testdata/memory.golden"},
+		// The app-experiment scenario has no bespoke command; its
+		// fixture lives here.
+		{"../../scenarios/latency.yaml", "testdata/latency.golden"},
+	}
+	for _, tc := range cases {
+		t.Run(filepath.Base(tc.spec), func(t *testing.T) {
+			var buf bytes.Buffer
+			// A single operand prints the rendering alone — stdout is the
+			// golden bytes, no header.
+			if err := run(&buf, []string{tc.spec}, runOpts{}); err != nil {
+				t.Fatal(err)
+			}
+			golden.Check(t, buf.Bytes(), tc.fixture, *update)
+		})
+	}
+}
+
+// TestRunFailsOnViolation drives the deliberately-failing fixture
+// through the run subcommand: the violation must be printed with the
+// offending metric, band, and observed value, and the invocation must
+// return an error (main exits non-zero on it).
+func TestRunFailsOnViolation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"../../internal/scenario/testdata/failing.yaml"}, runOpts{})
+	if err == nil {
+		t.Fatal("run succeeded on the failing fixture")
+	}
+	want := "metric moldyn/2 procs/seq/speedup = 1 outside band [10, 100]"
+	if !strings.Contains(err.Error(), "1 assertion violation(s)") || !strings.Contains(err.Error(), want) {
+		t.Errorf("error = %q, want the violation detail %q", err, want)
+	}
+	if !strings.Contains(buf.String(), "VIOLATION failing-band: "+want) {
+		t.Errorf("output missing the violation line:\n%s", buf.String())
+	}
+}
+
+// TestValidateTree lints the whole scenarios tree the way the CI leg
+// does, nightly specs included.
+func TestValidateTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := validateCmd(&buf, []string{"../../scenarios/..."}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "13 scenario(s) valid") {
+		t.Errorf("validate output:\n%s", out)
+	}
+	for _, f := range []string{"table1.yaml", "nightly/memory.yaml"} {
+		if !strings.Contains(out, f) {
+			t.Errorf("validate output missing %s:\n%s", f, out)
+		}
+	}
+}
+
+// TestListScenarios smoke-tests the list subcommand on the CI set.
+func TestListScenarios(t *testing.T) {
+	var buf bytes.Buffer
+	if err := listCmd(&buf, []string{"../../scenarios"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "memory", "latency", "app"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -17,40 +17,21 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/apps"
 	"repro/internal/bench"
 )
 
 // params names one full table1 rendering; the CI-size instance is
-// golden-diffed in main_test.go.
+// golden-diffed in main_test.go. The rendering itself lives in
+// bench.RenderTable1 so the scenario engine produces identical bytes.
 type params struct {
 	n, procs, steps int
 	detail          bool
 }
 
 func run(w io.Writer, p params) error {
-	cfg := apps.Config{N: p.n, Procs: p.procs, Steps: p.steps}
-	tbl, all, err := bench.Table1(cfg, []int{20, 15, 11})
-	if err != nil {
-		return err
-	}
-	fmt.Fprint(w, tbl.String())
-	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
-	if p.detail {
-		fmt.Fprintln(w)
-		fmt.Fprint(w, tbl.DetailString())
-	}
-	// The in-text claims (§5.1).
-	fmt.Fprintln(w)
-	for _, r := range all {
-		fmt.Fprintf(w, "%-36s inspector %.2f s/proc, Validate scan %.2f s, opt vs CHAOS %+.0f%%, opt vs base %+.0f%%\n",
-			r.Config,
-			r.Chaos.Detail["inspector_s"],
-			r.Opt.Detail["scan_s"],
-			100*(r.Chaos.TimeSec-r.Opt.TimeSec)/r.Chaos.TimeSec,
-			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
-	}
-	return nil
+	_, err := bench.RenderTable1(w, bench.Table1Params{
+		N: p.n, Procs: p.procs, Steps: p.steps, Detail: p.detail})
+	return err
 }
 
 func main() {

@@ -17,44 +17,21 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/apps"
 	"repro/internal/bench"
 )
 
 // params names one full table2 rendering; the CI-size instance is
-// golden-diffed in main_test.go.
+// golden-diffed in main_test.go. The rendering itself lives in
+// bench.RenderTable2 so the scenario engine produces identical bytes.
 type params struct {
 	scale, procs, steps, partners int
 	detail                        bool
 }
 
 func run(w io.Writer, p params) error {
-	cfg := apps.Config{Procs: p.procs, Steps: p.steps}.WithKnob("partners", p.partners)
-	sizes := []bench.Size{
-		{Label: fmt.Sprintf("%d x 1024", p.scale), N: p.scale * 1024},
-		{Label: fmt.Sprintf("%d x 1000", p.scale), N: p.scale * 1000},
-		{Label: fmt.Sprintf("%d x 1024", p.scale/2), N: p.scale / 2 * 1024},
-	}
-	tbl, all, err := bench.Table2(cfg, sizes)
-	if err != nil {
-		return err
-	}
-	fmt.Fprint(w, tbl.String())
-	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
-	if p.detail {
-		fmt.Fprintln(w)
-		fmt.Fprint(w, tbl.DetailString())
-	}
-	fmt.Fprintln(w)
-	for _, r := range all {
-		fmt.Fprintf(w, "%-28s inspector %.2f s/proc (untimed), Validate scan %.3f s, opt vs CHAOS %+.0f%%, opt vs base %+.0f%%\n",
-			r.Config,
-			r.Chaos.Detail["inspector_s"],
-			r.Opt.Detail["scan_s"],
-			100*(r.Chaos.TimeSec-r.Opt.TimeSec)/r.Chaos.TimeSec,
-			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
-	}
-	return nil
+	_, err := bench.RenderTable2(w, bench.Table2Params{
+		Scale: p.scale, Procs: p.procs, Steps: p.steps, Partners: p.partners, Detail: p.detail})
+	return err
 }
 
 func main() {

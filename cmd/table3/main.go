@@ -25,42 +25,17 @@ import (
 // golden-diffed in main_test.go. The spmv rows run at n and n/2; the
 // unstruct rows at n/2 and n/4 (a mesh node carries more state and
 // edges than a matrix row, so the half sizes keep the two groups
-// comparable in cost).
+// comparable in cost). The rendering itself lives in bench.RenderTable3
+// so the scenario engine produces identical bytes.
 type params struct {
 	n, nnz, procs, steps int
 	detail               bool
 }
 
 func run(w io.Writer, p params) error {
-	cfg := apps.Config{Procs: p.procs, Steps: p.steps}.WithKnob("nnz_row", p.nnz)
-	spmvSizes := []bench.Size{
-		{Label: fmt.Sprintf("SPMV N = %d", p.n), N: p.n},
-		{Label: fmt.Sprintf("SPMV N = %d", p.n/2), N: p.n / 2},
-	}
-	unstructSizes := []bench.Size{
-		{Label: fmt.Sprintf("Unstruct N = %d", p.n/2), N: p.n / 2},
-		{Label: fmt.Sprintf("Unstruct N = %d", p.n/4), N: p.n / 4},
-	}
-	tbl, all, err := bench.Table3(cfg, spmvSizes, unstructSizes)
-	if err != nil {
-		return err
-	}
-	fmt.Fprint(w, tbl.String())
-	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
-	if p.detail {
-		fmt.Fprintln(w)
-		fmt.Fprint(w, tbl.DetailString())
-	}
-	fmt.Fprintln(w)
-	for _, r := range all {
-		fmt.Fprintf(w, "%-28s inspector %.3f s/proc (untimed), Validate scan %.3f s, opt vs base: %.1fx fewer messages, %.0f%% less time\n",
-			r.Config,
-			r.Chaos.Detail["inspector_s"],
-			r.Opt.Detail["scan_s"],
-			float64(r.Base.Messages)/float64(r.Opt.Messages),
-			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
-	}
-	return nil
+	_, err := bench.RenderTable3(w, bench.Table3Params{
+		N: p.n, NNZ: p.nnz, Procs: p.procs, Steps: p.steps, Detail: p.detail})
+	return err
 }
 
 func main() {

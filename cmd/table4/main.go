@@ -18,14 +18,13 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
-	"repro/internal/apps"
 	"repro/internal/bench"
 )
 
 // params names one full table4 rendering; the CI-size instance is
-// golden-diffed in main_test.go.
+// golden-diffed in main_test.go. The rendering itself lives in
+// bench.RenderTable4 so the scenario engine produces identical bytes.
 type params struct {
 	cities, items, procs    int
 	depth, batch, itemBatch int
@@ -33,61 +32,10 @@ type params struct {
 }
 
 func run(w io.Writer, p params) error {
-	tspCfg := apps.Config{Procs: p.procs}.
-		WithKnob("depth", p.depth).WithKnob("batch", p.batch)
-	taskqCfg := apps.Config{Procs: p.procs}.WithKnob("batch", p.itemBatch)
-	tspSizes := []bench.Size{
-		{Label: fmt.Sprintf("TSP, %d cities", p.cities), N: p.cities},
-	}
-	taskqSizes := []bench.Size{
-		{Label: fmt.Sprintf("TaskQ, %d items", p.items), N: p.items},
-	}
-	tbl, all, err := bench.Table4(tspCfg, taskqCfg, tspSizes, taskqSizes)
-	if err != nil {
-		return err
-	}
-	fmt.Fprint(w, tbl.String())
-	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
-	if p.detail {
-		fmt.Fprintln(w)
-		for _, r := range all {
-			for _, res := range r.All() {
-				if len(res.Detail) == 0 {
-					continue
-				}
-				fmt.Fprintf(w, "%s / %s:\n", r.Config, res.System)
-				for _, k := range sortedKeys(res.Detail) {
-					fmt.Fprintf(w, "    %-24s %12.4f\n", k, res.Detail[k])
-				}
-			}
-		}
-	}
-	fmt.Fprintln(w)
-	for _, r := range all {
-		base, opt := r.Base.LockTotal(), r.Opt.LockTotal()
-		// All grants are idle on an uncontended (e.g. 1-processor)
-		// cluster; there is no wait to compare then.
-		waitClause := "wait n/a (uncontended)"
-		if base.WaitUS > 0 {
-			waitClause = fmt.Sprintf("%+.0f%% wait", 100*(opt.WaitUS-base.WaitUS)/base.WaitUS)
-		}
-		fmt.Fprintf(w, "%-28s Tmk vs PVM %+.0f%% time; batching: %.1fx fewer acquires, %s, %.1fx fewer messages\n",
-			r.Config,
-			100*(r.Base.TimeSec-r.Chaos.TimeSec)/r.Chaos.TimeSec,
-			float64(base.Acquires)/float64(opt.Acquires),
-			waitClause,
-			float64(r.Base.Messages)/float64(r.Opt.Messages))
-	}
-	return nil
-}
-
-func sortedKeys(m map[string]float64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	_, err := bench.RenderTable4(w, bench.Table4Params{
+		Cities: p.cities, Items: p.items, Procs: p.procs,
+		Depth: p.depth, Batch: p.batch, ItemBatch: p.itemBatch, Detail: p.detail})
+	return err
 }
 
 func main() {

@@ -18,12 +18,12 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/apps"
 	"repro/internal/bench"
 )
 
 // params names one full table5 rendering; the CI-size instance is
-// golden-diffed in main_test.go.
+// golden-diffed in main_test.go. The rendering itself lives in
+// bench.RenderTable5 so the scenario engine produces identical bytes.
 type params struct {
 	procs, budgetKB      int
 	moldynN, nbfN, spmvN int
@@ -31,28 +31,11 @@ type params struct {
 }
 
 func run(w io.Writer, p params) error {
-	specs := []bench.MemSpec{
-		{App: "moldyn", Label: fmt.Sprintf("moldyn, %d mol", p.moldynN),
-			Cfg: apps.Config{N: p.moldynN, Steps: p.moldynSteps}},
-		{App: "nbf", Label: fmt.Sprintf("nbf, %d mol", p.nbfN),
-			Cfg: apps.Config{N: p.nbfN, Steps: p.steps}.WithKnob("partners", 40)},
-		// far_per_row 0: the pure-banded matrix whose localized working
-		// set is what the paged organization exists for.
-		{App: "spmv", Label: fmt.Sprintf("spmv, %d rows", p.spmvN),
-			Cfg: apps.Config{N: p.spmvN, Steps: p.steps}.WithKnob("far_per_row", 0)},
-	}
-	tbl, all, err := bench.Table5(specs, p.budgetKB, p.procs)
-	if err != nil {
-		return err
-	}
-	fmt.Fprint(w, tbl.String())
-	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
-	fmt.Fprintln(w)
-	for _, r := range all {
-		fmt.Fprintf(w, "%-28s CHAOS table: %-18s CHAOS peak %7.1f KB/proc, Tmk opt peak %7.1f KB/proc\n",
-			r.Config, r.Chaos.TableOrg, r.Chaos.MaxPeakMB()*1e3, r.Opt.MaxPeakMB()*1e3)
-	}
-	return nil
+	_, err := bench.RenderTable5(w, bench.Table5Params{
+		Procs: p.procs, BudgetKB: p.budgetKB,
+		MoldynN: p.moldynN, NbfN: p.nbfN, SpmvN: p.spmvN,
+		MoldynSteps: p.moldynSteps, Steps: p.steps})
+	return err
 }
 
 func main() {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/apps/tsp"
 	"repro/internal/bench"
 	"repro/internal/raceflag"
+	"repro/internal/scenario"
 )
 
 // triple is the exact-comparison record: raw float64 bits for the time
@@ -178,6 +179,44 @@ func TestMoldynMemAnecdote(t *testing.T) {
 		if *r != *ref {
 			t.Fatalf("run %d: %+v != reference %+v", i, r, ref)
 		}
+	}
+}
+
+// TestScenariosByteIdenticalAcrossRuns is the scenario determinism
+// leg: every shipped CI-size scenario (scenarios/*.yaml) runs twice
+// and the rendered output and flattened metrics are byte-diffed —
+// scenario.Run performs the comparison itself when Repro is set, so a
+// run-to-run difference is a test failure here and a non-zero exit in
+// `scenario run -repro`. Under -race only the two cheapest scenarios
+// run: the detector makes each full-table render ~10x slower, and the
+// stress tests above already race the same backend code paths.
+func TestScenariosByteIdenticalAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario renders; skipped with -short")
+	}
+	racedOK := map[string]bool{"table4": true, "latency": true}
+	files, err := scenario.Files("scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		spec, err := scenario.Load(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raceflag.Enabled && !racedOK[spec.Name] {
+			continue
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			spec.Repro = true
+			out, err := scenario.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range out.Violations {
+				t.Errorf("%s: %s", f, v)
+			}
+		})
 	}
 }
 

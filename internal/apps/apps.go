@@ -44,6 +44,31 @@ func PageRound(b, ps int) int {
 	return (b + ps - 1) / ps * ps
 }
 
+// Machine carries the simulated-machine overrides a workload runs
+// under. Zero fields mean the SP2 default (sim.DefaultConfig); the
+// scenario engine's latency/bandwidth sweep axes set them through
+// Config.Machine, and every app's parallel backends build their
+// clusters through Config so the overrides apply uniformly. The
+// sequential reference ignores them by construction: it sends no
+// messages, so the network model never prices anything.
+type Machine struct {
+	LatencyUS    int // one-way per-message latency (us); 0 = default
+	BandwidthMBs int // network bandwidth (MB/s == B/us); 0 = default
+}
+
+// Config returns the simulated-machine description for procs
+// processors with the overrides applied.
+func (m Machine) Config(procs int) sim.Config {
+	cfg := sim.DefaultConfig(procs)
+	if m.LatencyUS > 0 {
+		cfg.LatencyUS = float64(m.LatencyUS)
+	}
+	if m.BandwidthMBs > 0 {
+		cfg.BytesPerUS = float64(m.BandwidthMBs)
+	}
+	return cfg
+}
+
 // Q quantizes v onto the position lattice.
 func Q(v float64) float64 {
 	return math.Round(v*Grid) / Grid

@@ -166,3 +166,17 @@ func TestMeasureDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestMachineConfigOverrides(t *testing.T) {
+	def := Machine{}.Config(4)
+	if want := sim.DefaultConfig(4); def != want {
+		t.Fatalf("zero Machine changed the config: %+v vs %+v", def, want)
+	}
+	got := Machine{LatencyUS: 170, BandwidthMBs: 20}.Config(4)
+	if got.LatencyUS != 170 || got.BytesPerUS != 20 {
+		t.Fatalf("overrides not applied: latency %v, bandwidth %v", got.LatencyUS, got.BytesPerUS)
+	}
+	if got.Procs != 4 || got.MsgHeaderB != def.MsgHeaderB {
+		t.Fatalf("override touched unrelated fields: %+v", got)
+	}
+}

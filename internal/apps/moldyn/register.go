@@ -31,6 +31,7 @@ func init() {
 	apps.Register("moldyn", func(cfg apps.Config) apps.Workload {
 		p := DefaultParams(cfg.N, cfg.Procs)
 		cfg.ApplyCommon(&p.Steps, &p.Seed)
+		p.Machine = cfg.Machine
 		p.UpdateEvery = cfg.Knob("update_every", p.UpdateEvery)
 		if kb := cfg.Knob("table_budget_kb", 0); kb > 0 {
 			// Budget-driven table selection: moldyn's reference stream

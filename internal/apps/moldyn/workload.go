@@ -67,7 +67,10 @@ type Params struct {
 	// were not fragmented at the paper's message-count granularity.
 	MaxMsgB     int
 	CellRebuild bool // use an O(N) cell grid instead of the paper-era O(N^2) rebuild
-	Costs       Costs
+	// Machine carries the latency/bandwidth overrides the scenario
+	// engine sweeps (zero fields = SP2 default).
+	Machine apps.Machine
+	Costs   Costs
 	// Inspector is the CHAOS inspector cost model, calibrated so one
 	// inspector execution costs the paper's ~7-9 step-times per
 	// processor (4.6-9.2 s against 0.5 s per-processor steps).
@@ -322,7 +325,7 @@ func integrate(x, f, drift, l float64) float64 {
 // simConfig returns the simulated-machine description for this
 // workload: the SP2 default with the workload's overrides applied.
 func (p *Params) simConfig() sim.Config {
-	cfg := sim.DefaultConfig(p.Procs)
+	cfg := p.Machine.Config(p.Procs)
 	if p.MaxMsgB > 0 {
 		cfg.MaxMsgB = p.MaxMsgB
 	}

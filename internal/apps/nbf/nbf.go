@@ -52,7 +52,10 @@ type Params struct {
 	// TableCachePages bounds the Paged table's per-processor cache
 	// (0 = unbounded); set by the memory capacity policy.
 	TableCachePages int
-	Costs           Costs
+	// Machine carries the latency/bandwidth overrides the scenario
+	// engine sweeps (zero fields = SP2 default).
+	Machine apps.Machine
+	Costs   Costs
 	// Inspector is the CHAOS inspector cost model (calibrated to the
 	// paper's 7.3 s single-processor / 5.2 s 8-processor inspector).
 	Inspector chaos.InspectorCost

@@ -30,6 +30,7 @@ func init() {
 	apps.Register("nbf", func(cfg apps.Config) apps.Workload {
 		p := DefaultParams(cfg.N, cfg.Procs)
 		cfg.ApplyCommon(&p.Steps, &p.Seed)
+		p.Machine = cfg.Machine
 		p.Partners = cfg.Knob("partners", p.Partners)
 		p.PageSize = cfg.Knob("page_size", p.PageSize)
 		if kb := cfg.Knob("table_budget_kb", 0); kb > 0 {

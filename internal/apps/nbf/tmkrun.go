@@ -37,7 +37,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 	n := p.N
 	cost := p.Costs
 
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.Machine.Config(nprocs))
 	arenaBytes := apps.PageRound(8*n, p.PageSize)*2 + apps.PageRound(4*n*p.Partners, p.PageSize) + 8*p.PageSize
 	d := tmk.New(cl, p.PageSize, arenaBytes)
 

@@ -39,6 +39,9 @@ type Config struct {
 	// Knobs carries app-specific integer parameters (e.g. moldyn's
 	// "update_every", nbf's "partners", spmv's "nnz_row").
 	Knobs map[string]int
+	// Machine carries simulated-machine overrides (latency, bandwidth)
+	// that every app honors; zero fields mean the SP2 default.
+	Machine Machine
 }
 
 // Knob returns the named app-specific parameter, or def if unset.
@@ -111,6 +114,20 @@ func Lookup(name string) (Factory, bool) {
 	return r.f, ok
 }
 
+// Knobs returns the sorted knob names the named application declared,
+// and whether the application is registered at all — the parameter
+// schema the scenario validator checks sweep axes and knob maps
+// against without building a workload.
+func Knobs(name string) ([]string, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	r, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return sortedKeys(r.knobs), true
+}
+
 // Names lists the registered applications in sorted order.
 func Names() []string {
 	regMu.Lock()
@@ -148,6 +165,10 @@ func New(name string, cfg Config) (w Workload, err error) {
 		if v < 0 {
 			return nil, fmt.Errorf("apps: %s knob %q must be non-negative (got %d)", name, k, v)
 		}
+	}
+	if cfg.Machine.LatencyUS < 0 || cfg.Machine.BandwidthMBs < 0 {
+		return nil, fmt.Errorf("apps: %s machine overrides must be non-negative (got latency_us=%d, bandwidth_mbs=%d)",
+			name, cfg.Machine.LatencyUS, cfg.Machine.BandwidthMBs)
 	}
 	defer func() {
 		if p := recover(); p != nil {

@@ -20,7 +20,7 @@ func RunChaos(w *Workload) *apps.Result {
 	icost := p.Inspector
 	ecost := chaos.DefaultExecutorCost()
 
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.Machine.Config(nprocs))
 	part := chaos.Block(n, nprocs)
 	tt := chaos.NewTransTable(part, p.TableKind)
 	tt.CachePages = p.TableCachePages

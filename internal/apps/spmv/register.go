@@ -29,6 +29,7 @@ func init() {
 	apps.Register("spmv", func(cfg apps.Config) apps.Workload {
 		p := DefaultParams(cfg.N, cfg.Procs)
 		cfg.ApplyCommon(&p.Steps, &p.Seed)
+		p.Machine = cfg.Machine
 		p.NNZRow = cfg.Knob("nnz_row", p.NNZRow)
 		p.PageSize = cfg.Knob("page_size", p.PageSize)
 		p.FarPerRow = cfg.Knob("far_per_row", p.FarPerRow)

@@ -51,8 +51,11 @@ type Params struct {
 	// TableCachePages bounds the Paged table's per-processor cache
 	// (0 = unbounded); set by the memory capacity policy.
 	TableCachePages int
-	Costs           Costs
-	Inspector       chaos.InspectorCost
+	// Machine carries the latency/bandwidth overrides the scenario
+	// engine sweeps (zero fields = SP2 default).
+	Machine   apps.Machine
+	Costs     Costs
+	Inspector chaos.InspectorCost
 }
 
 // WorkTablePages estimates the translation-table pages one processor's

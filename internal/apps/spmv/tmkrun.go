@@ -34,7 +34,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 	nnz := n * p.NNZRow
 	cost := p.Costs
 
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.Machine.Config(nprocs))
 	arenaBytes := apps.PageRound(8*n, p.PageSize)*2 +
 		apps.PageRound(4*nnz, p.PageSize) + apps.PageRound(8*nnz, p.PageSize) + 8*p.PageSize
 	d := tmk.New(cl, p.PageSize, arenaBytes)

@@ -22,7 +22,7 @@ const (
 func RunMP(w *Workload) *apps.Result {
 	p := w.P
 	nprocs := p.Procs
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.Machine.Config(nprocs))
 	meas := apps.NewMeasure(cl)
 
 	var counter, sum int64

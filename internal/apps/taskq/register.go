@@ -36,6 +36,7 @@ func init() {
 		if cfg.Seed != 0 {
 			p.Seed = cfg.Seed
 		}
+		p.Machine = cfg.Machine
 		p.Batch = cfg.Knob("batch", p.Batch)
 		p.WorkLoUS = cfg.Knob("work_lo", p.WorkLoUS)
 		p.WorkHiUS = cfg.Knob("work_hi", p.WorkHiUS)

@@ -34,6 +34,9 @@ type Params struct {
 	Procs    int
 	Seed     int64
 	PageSize int
+	// Machine carries the latency/bandwidth overrides the scenario
+	// engine sweeps (zero fields = SP2 default).
+	Machine apps.Machine
 }
 
 // DefaultParams returns the standard configuration: items costing

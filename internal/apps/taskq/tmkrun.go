@@ -32,7 +32,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 		system = "tmk-opt"
 	}
 
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.Machine.Config(nprocs))
 	d := tmk.New(cl, p.PageSize, 2*p.PageSize)
 	cAddr := d.Alloc(8)
 	d.Node(0).Space().WriteI64(cAddr, 0)

@@ -32,7 +32,7 @@ func (m bestMsg) bytes() int { return 8 + 4*len(m.tour) }
 func RunMP(w *Workload) *apps.Result {
 	p := w.P
 	nprocs := p.Procs
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.Machine.Config(nprocs))
 	meas := apps.NewMeasure(cl)
 	rounds := (len(w.Tasks) + nprocs - 1) / nprocs
 

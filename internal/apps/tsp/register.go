@@ -37,6 +37,7 @@ func init() {
 		if cfg.Seed != 0 {
 			p.Seed = cfg.Seed
 		}
+		p.Machine = cfg.Machine
 		p.SeedDepth = cfg.Knob("depth", p.SeedDepth)
 		p.Batch = cfg.Knob("batch", p.Batch)
 		p.PageSize = cfg.Knob("page_size", p.PageSize)

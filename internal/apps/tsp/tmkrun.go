@@ -68,7 +68,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 		system = "tmk-opt"
 	}
 
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.Machine.Config(nprocs))
 	d := tmk.New(cl, p.PageSize, 4*p.PageSize)
 	qAddr := d.Alloc(8)
 	bound := boundPage{base: d.Alloc(8 + 4*p.N), n: p.N}

@@ -53,7 +53,10 @@ type Params struct {
 	Procs     int
 	Seed      int64
 	PageSize  int
-	Costs     Costs
+	// Machine carries the latency/bandwidth overrides the scenario
+	// engine sweeps (zero fields = SP2 default).
+	Machine apps.Machine
+	Costs   Costs
 }
 
 // MaxCities bounds the problem size: the tree is factorial in N and the

@@ -25,6 +25,7 @@ func init() {
 	apps.Register("unstruct", func(cfg apps.Config) apps.Workload {
 		p := DefaultParams(cfg.N, cfg.Procs)
 		cfg.ApplyCommon(&p.Steps, &p.Seed)
+		p.Machine = cfg.Machine
 		return App{W: Generate(p)}
 	})
 }

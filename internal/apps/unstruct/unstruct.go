@@ -39,12 +39,15 @@ func DefaultCosts() Costs {
 
 // Params configures an unstructured-mesh experiment.
 type Params struct {
-	Nodes     int
-	Radius    float64 // connection radius in a unit-density box
-	Steps     int     // timed steps (one warmup step runs first)
-	Procs     int
-	Seed      int64
-	PageSize  int
+	Nodes    int
+	Radius   float64 // connection radius in a unit-density box
+	Steps    int     // timed steps (one warmup step runs first)
+	Procs    int
+	Seed     int64
+	PageSize int
+	// Machine carries the latency/bandwidth overrides the scenario
+	// engine sweeps (zero fields = SP2 default).
+	Machine   apps.Machine
 	Costs     Costs
 	Inspector chaos.InspectorCost
 }
@@ -227,7 +230,7 @@ func RunTmk(w *Workload, opt TmkOptions) *apps.Result {
 	n := p.Nodes
 	cost := p.Costs
 
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.Machine.Config(nprocs))
 	arenaBytes := apps.PageRound(8*n, p.PageSize)*2 + apps.PageRound(8*len(w.Edges), p.PageSize) + 4*p.PageSize
 	d := tmk.New(cl, p.PageSize, arenaBytes)
 	xArr := &core.Array{Name: "x", Base: d.Alloc(8 * n), ElemSize: 8, Len: n}
@@ -358,7 +361,7 @@ func RunChaos(w *Workload) *apps.Result {
 	cost := p.Costs
 	ecost := chaos.DefaultExecutorCost()
 
-	cl := sim.NewCluster(sim.DefaultConfig(nprocs))
+	cl := sim.NewCluster(p.Machine.Config(nprocs))
 	part := chaos.RCB(w.Coords, nprocs)
 	tt := chaos.NewTransTable(part, chaos.Replicated)
 	counts := part.Counts()

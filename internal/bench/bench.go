@@ -87,9 +87,12 @@ func (t *Table) DetailString() string {
 }
 
 // AppResults holds one configuration's verified backend runs for any
-// registered application.
+// registered application. Config is the decorated row-group heading the
+// tables print; Label is the undecorated spec label the scenario
+// engine's metric keys are built from.
 type AppResults struct {
 	App    string
+	Label  string
 	Config string
 	*apps.VariantSet
 }
@@ -107,9 +110,37 @@ func RunApp(name string, cfg apps.Config, label string) (*AppResults, error) {
 	}
 	return &AppResults{
 		App:        name,
+		Label:      label,
 		Config:     fmt.Sprintf("%s (seq = %.1f s)", label, vs.Seq.TimeSec),
 		VariantSet: vs,
 	}, nil
+}
+
+// Metrics flattens verified results into the named metric values the
+// scenario engine asserts bands on and byte-diffs across runs. Keys are
+// "<app>/<label>/<variant>/<field>" with variant one of seq, chaos,
+// tmk, tmk-opt (the registry's four slots — for the lock workloads the
+// chaos slot is the message-passing program) and field one of time_s,
+// speedup, messages, data_mb, peak_kb plus every Detail entry the
+// backend recorded (inspector_s, scan_s, lock_*, per-category traffic).
+func Metrics(all []*AppResults) map[string]float64 {
+	out := map[string]float64{}
+	for _, res := range all {
+		for slot, r := range map[string]*apps.Result{
+			"seq": res.Seq, "chaos": res.Chaos, "tmk": res.Base, "tmk-opt": res.Opt,
+		} {
+			prefix := res.App + "/" + res.Label + "/" + slot + "/"
+			out[prefix+"time_s"] = r.TimeSec
+			out[prefix+"speedup"] = r.Speedup
+			out[prefix+"messages"] = float64(r.Messages)
+			out[prefix+"data_mb"] = r.DataMB
+			out[prefix+"peak_kb"] = r.MaxPeakMB() * 1e3
+			for k, v := range r.Detail {
+				out[prefix+k] = v
+			}
+		}
+	}
+	return out
 }
 
 // RowSpec names one table row group: a label and the workload config

@@ -1,0 +1,326 @@
+// The table renderers: the full text of each experiment command
+// (cmd/table1..5, cmd/ablate -sweep=memory) as structured-result
+// functions over an io.Writer. The commands are thin flag wrappers and
+// the scenario engine (internal/scenario) calls the same functions, so
+// a scenario file reproduces a bespoke program's output byte for byte —
+// the golden fixtures under cmd/*/testdata are the shared contract.
+// Each renderer returns the verified per-configuration results so
+// callers can assert bands on the numbers instead of grepping the text.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/apps/moldyn"
+	"repro/internal/apps/spmv"
+	"repro/internal/chaos"
+	"repro/internal/mem"
+)
+
+// Table1Params names one full table1 rendering (cmd/table1 flags).
+type Table1Params struct {
+	N, Procs, Steps int
+	Detail          bool
+}
+
+// RenderTable1 runs and prints Table 1: moldyn with the interaction
+// list updated every 20, 15, and 11 steps.
+func RenderTable1(w io.Writer, p Table1Params) ([]*AppResults, error) {
+	cfg := apps.Config{N: p.N, Procs: p.Procs, Steps: p.Steps}
+	tbl, all, err := Table1(cfg, []int{20, 15, 11})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	if p.Detail {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, tbl.DetailString())
+	}
+	// The in-text claims (§5.1).
+	fmt.Fprintln(w)
+	for _, r := range all {
+		fmt.Fprintf(w, "%-36s inspector %.2f s/proc, Validate scan %.2f s, opt vs CHAOS %+.0f%%, opt vs base %+.0f%%\n",
+			r.Config,
+			r.Chaos.Detail["inspector_s"],
+			r.Opt.Detail["scan_s"],
+			100*(r.Chaos.TimeSec-r.Opt.TimeSec)/r.Chaos.TimeSec,
+			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
+	}
+	return all, nil
+}
+
+// Table2Params names one full table2 rendering (cmd/table2 flags).
+type Table2Params struct {
+	Scale, Procs, Steps, Partners int
+	Detail                        bool
+}
+
+// RenderTable2 runs and prints Table 2: the nbf kernel at three problem
+// sizes including the false-sharing-inducing misaligned one.
+func RenderTable2(w io.Writer, p Table2Params) ([]*AppResults, error) {
+	cfg := apps.Config{Procs: p.Procs, Steps: p.Steps}.WithKnob("partners", p.Partners)
+	sizes := []Size{
+		{Label: fmt.Sprintf("%d x 1024", p.Scale), N: p.Scale * 1024},
+		{Label: fmt.Sprintf("%d x 1000", p.Scale), N: p.Scale * 1000},
+		{Label: fmt.Sprintf("%d x 1024", p.Scale/2), N: p.Scale / 2 * 1024},
+	}
+	tbl, all, err := Table2(cfg, sizes)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	if p.Detail {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, tbl.DetailString())
+	}
+	fmt.Fprintln(w)
+	for _, r := range all {
+		fmt.Fprintf(w, "%-28s inspector %.2f s/proc (untimed), Validate scan %.3f s, opt vs CHAOS %+.0f%%, opt vs base %+.0f%%\n",
+			r.Config,
+			r.Chaos.Detail["inspector_s"],
+			r.Opt.Detail["scan_s"],
+			100*(r.Chaos.TimeSec-r.Opt.TimeSec)/r.Chaos.TimeSec,
+			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
+	}
+	return all, nil
+}
+
+// Table3Params names one full table3 rendering (cmd/table3 flags).
+type Table3Params struct {
+	N, NNZ, Procs, Steps int
+	Detail               bool
+}
+
+// RenderTable3 runs and prints Table 3: spmv at n and n/2 plus the
+// unstructured-mesh row groups at n/2 and n/4.
+func RenderTable3(w io.Writer, p Table3Params) ([]*AppResults, error) {
+	cfg := apps.Config{Procs: p.Procs, Steps: p.Steps}.WithKnob("nnz_row", p.NNZ)
+	spmvSizes := []Size{
+		{Label: fmt.Sprintf("SPMV N = %d", p.N), N: p.N},
+		{Label: fmt.Sprintf("SPMV N = %d", p.N/2), N: p.N / 2},
+	}
+	unstructSizes := []Size{
+		{Label: fmt.Sprintf("Unstruct N = %d", p.N/2), N: p.N / 2},
+		{Label: fmt.Sprintf("Unstruct N = %d", p.N/4), N: p.N / 4},
+	}
+	tbl, all, err := Table3(cfg, spmvSizes, unstructSizes)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	if p.Detail {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, tbl.DetailString())
+	}
+	fmt.Fprintln(w)
+	for _, r := range all {
+		fmt.Fprintf(w, "%-28s inspector %.3f s/proc (untimed), Validate scan %.3f s, opt vs base: %.1fx fewer messages, %.0f%% less time\n",
+			r.Config,
+			r.Chaos.Detail["inspector_s"],
+			r.Opt.Detail["scan_s"],
+			float64(r.Base.Messages)/float64(r.Opt.Messages),
+			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
+	}
+	return all, nil
+}
+
+// Table4Params names one full table4 rendering (cmd/table4 flags).
+type Table4Params struct {
+	Cities, Items, Procs    int
+	Depth, Batch, ItemBatch int
+	Detail                  bool
+}
+
+// RenderTable4 runs and prints Table 4: the lock-based workloads
+// (branch-and-bound TSP; migratory task queue) with the lock columns.
+func RenderTable4(w io.Writer, p Table4Params) ([]*AppResults, error) {
+	tspCfg := apps.Config{Procs: p.Procs}.
+		WithKnob("depth", p.Depth).WithKnob("batch", p.Batch)
+	taskqCfg := apps.Config{Procs: p.Procs}.WithKnob("batch", p.ItemBatch)
+	tspSizes := []Size{
+		{Label: fmt.Sprintf("TSP, %d cities", p.Cities), N: p.Cities},
+	}
+	taskqSizes := []Size{
+		{Label: fmt.Sprintf("TaskQ, %d items", p.Items), N: p.Items},
+	}
+	tbl, all, err := Table4(tspCfg, taskqCfg, tspSizes, taskqSizes)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	if p.Detail {
+		fmt.Fprintln(w)
+		for _, r := range all {
+			for _, res := range r.All() {
+				if len(res.Detail) == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%s / %s:\n", r.Config, res.System)
+				for _, k := range sortedDetailKeys(res.Detail) {
+					fmt.Fprintf(w, "    %-24s %12.4f\n", k, res.Detail[k])
+				}
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	for _, r := range all {
+		base, opt := r.Base.LockTotal(), r.Opt.LockTotal()
+		// All grants are idle on an uncontended (e.g. 1-processor)
+		// cluster; there is no wait to compare then.
+		waitClause := "wait n/a (uncontended)"
+		if base.WaitUS > 0 {
+			waitClause = fmt.Sprintf("%+.0f%% wait", 100*(opt.WaitUS-base.WaitUS)/base.WaitUS)
+		}
+		fmt.Fprintf(w, "%-28s Tmk vs PVM %+.0f%% time; batching: %.1fx fewer acquires, %s, %.1fx fewer messages\n",
+			r.Config,
+			100*(r.Base.TimeSec-r.Chaos.TimeSec)/r.Chaos.TimeSec,
+			float64(base.Acquires)/float64(opt.Acquires),
+			waitClause,
+			float64(r.Base.Messages)/float64(r.Opt.Messages))
+	}
+	return all, nil
+}
+
+func sortedDetailKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table5Params names one full table5 rendering (cmd/table5 flags).
+type Table5Params struct {
+	Procs, BudgetKB      int
+	MoldynN, NbfN, SpmvN int
+	MoldynSteps, Steps   int
+}
+
+// RenderTable5 runs and prints Table 5: per-processor footprint
+// high-water marks and the policy-selected translation-table column.
+func RenderTable5(w io.Writer, p Table5Params) ([]*AppResults, error) {
+	specs := []MemSpec{
+		{App: "moldyn", Label: fmt.Sprintf("moldyn, %d mol", p.MoldynN),
+			Cfg: apps.Config{N: p.MoldynN, Steps: p.MoldynSteps}},
+		{App: "nbf", Label: fmt.Sprintf("nbf, %d mol", p.NbfN),
+			Cfg: apps.Config{N: p.NbfN, Steps: p.Steps}.WithKnob("partners", 40)},
+		// far_per_row 0: the pure-banded matrix whose localized working
+		// set is what the paged organization exists for.
+		{App: "spmv", Label: fmt.Sprintf("spmv, %d rows", p.SpmvN),
+			Cfg: apps.Config{N: p.SpmvN, Steps: p.Steps}.WithKnob("far_per_row", 0)},
+	}
+	tbl, all, err := Table5(specs, p.BudgetKB, p.Procs)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	fmt.Fprintln(w)
+	for _, r := range all {
+		fmt.Fprintf(w, "%-28s CHAOS table: %-18s CHAOS peak %7.1f KB/proc, Tmk opt peak %7.1f KB/proc\n",
+			r.Config, r.Chaos.TableOrg, r.Chaos.MaxPeakMB()*1e3, r.Opt.MaxPeakMB()*1e3)
+	}
+	return all, nil
+}
+
+// MemorySweepParams names one full memory-sweep rendering
+// (cmd/ablate -sweep=memory flags).
+type MemorySweepParams struct {
+	N, Procs int
+}
+
+// RenderMemorySweep runs and prints the §9 capacity sweep: the
+// per-processor table budget swept across the replicated/distributed/
+// paged crossover for a whole-table working set (moldyn) and a
+// localized one (banded spmv), then the moldyn anecdote run twice and
+// asserted — at the paper-scale budget the policy must reject the
+// replicated table and the distributed-table inspector traffic must
+// land in the 85 MB / 878-message regime, bit-identically. The verified
+// anecdote report is returned for band assertions.
+func RenderMemorySweep(w io.Writer, sp MemorySweepParams) (*AnecdoteReport, error) {
+	n, procs := sp.N, sp.Procs
+	fmt.Fprintf(w, "S9: memory budget vs translation-table organization (%d procs)\n\n", procs)
+
+	fmt.Fprintf(w, "moldyn N=%d (whole-table working set)\n", n)
+	fmt.Fprintf(w, "%14s%16s%14s%14s%14s\n", "budget (KB)", "plan", "ttable msgs", "ttable (MB)", "peak/proc KB")
+	moldynWork := mem.TablePages(n)
+	for _, budget := range memBudgets(n, procs, moldynWork) {
+		plan := mem.PlanTable(budget, n, procs, moldynWork)
+		p := moldyn.DefaultParams(n, procs)
+		p.TableKind = plan.Kind
+		p.TableCachePages = plan.CachePages
+		r := moldyn.RunChaos(moldyn.Generate(p))
+		fmt.Fprintf(w, "%14d%16s%14d%14.2f%14.1f\n",
+			budget>>10, plan, int64(r.Detail["msgs.chaos.ttable"]),
+			r.Detail["mb.chaos.ttable"], r.MaxPeakMB()*1e3)
+	}
+
+	// spmv's inspector runs once, before the timed window, so the
+	// columns here are storage, not traffic: the charged table bytes
+	// track the budget as the cache bound shrinks.
+	sn := 4 * n
+	fmt.Fprintf(w, "\nspmv N=%d, banded (localized working set)\n", sn)
+	fmt.Fprintf(w, "%14s%16s%14s%14s\n", "budget (KB)", "plan", "table KB/proc", "peak/proc KB")
+	spp := spmv.DefaultParams(sn, procs)
+	spp.FarPerRow = 0
+	spmvWork := spp.WorkTablePages()
+	for _, budget := range memBudgets(sn, procs, spmvWork) {
+		plan := mem.PlanTable(budget, sn, procs, spmvWork)
+		p := spp
+		p.TableKind = plan.Kind
+		p.TableCachePages = plan.CachePages
+		r := spmv.RunChaos(spmv.Generate(p))
+		fmt.Fprintf(w, "%14d%16s%14.1f%14.1f\n",
+			budget>>10, plan, float64(r.MemCat(chaos.MemCatTable).PeakBytes)/1e3,
+			r.MaxPeakMB()*1e3)
+	}
+	fmt.Fprintln(w, "\nShrinking the budget forces replicated -> (paged, if the working set")
+	fmt.Fprintln(w, "fits) -> distributed; a cache below the working set would thrash, so")
+	fmt.Fprintln(w, "the policy degrades straight to the segment-only table.")
+
+	// The anecdote, run twice: the assertion and the bit-identity are
+	// both part of the sweep's contract.
+	rep, err := RunMemAnecdote()
+	if err != nil {
+		return nil, err
+	}
+	rep2, err := RunMemAnecdote()
+	if err != nil {
+		return nil, err
+	}
+	if *rep != *rep2 {
+		return nil, fmt.Errorf("anecdote not byte-identical across runs: %+v vs %+v", rep, rep2)
+	}
+	p := MoldynAnecdoteParams()
+	fmt.Fprintf(w, "\nThe moldyn anecdote (asserted, run twice, bit-identical):\n")
+	fmt.Fprintf(w, "  N=%d, %d procs, %d steps, list updated every %d; table budget %d KB/proc\n",
+		p.N, p.Procs, p.Steps, p.UpdateEvery, mem.PaperTableBudget>>10)
+	fmt.Fprintf(w, "  policy: replicated table (%d KB) rejected -> %s\n",
+		mem.ReplicatedBytes(p.N)>>10, rep.Plan)
+	fmt.Fprintf(w, "  inspector translation traffic: %.1f MB in %d messages (paper: 85 MB in 878)\n",
+		float64(rep.TtableBytes)/1e6, rep.TtableMsgs)
+	fmt.Fprintf(w, "  peak footprint %.1f KB/proc, simulated time %.1f s\n", rep.PeakKB, rep.TimeSec)
+	return rep, nil
+}
+
+// memBudgets returns table budgets spanning the organization crossover
+// for an n-entry table with the given working set: comfortably above
+// the replicated table, just below it, at the paged working set (if it
+// is below replication), and at the bare segment.
+func memBudgets(n, procs, workPages int) []int64 {
+	repl := mem.ReplicatedBytes(n)
+	seg := mem.SegmentBytes(n, procs)
+	budgets := []int64{repl + (8 << 10), repl - 1}
+	if paged := seg + int64(workPages)*mem.TablePageBytes; paged < repl {
+		budgets = append(budgets, paged)
+	}
+	return append(budgets, seg)
+}

@@ -1,0 +1,218 @@
+// The scenario engine: execute a validated Spec through the shared
+// bench renderers, flatten the verified results into named metrics,
+// check the assertion bands, and (when asked) run the whole experiment
+// twice and byte-diff the output — the determinism contract of
+// DESIGN.md §7/§10 as a per-scenario switch.
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+)
+
+// Violation is one assertion band the run landed outside of.
+type Violation struct {
+	Band  Band
+	Value float64
+}
+
+// String reports the offending metric, the expected band, and the
+// observed value.
+func (v Violation) String() string {
+	return fmt.Sprintf("metric %s = %s outside band %s",
+		v.Band.Metric, fmtMetric(v.Value), v.Band.Interval())
+}
+
+// Outcome is one executed scenario: the rendered table text (identical
+// bytes to the corresponding command), the flattened metrics, and any
+// band violations. A non-empty Violations is the caller's exit-status
+// decision, not an error — the run itself succeeded.
+type Outcome struct {
+	Spec       *Spec
+	Rendered   string
+	Metrics    map[string]float64
+	Violations []Violation
+}
+
+// MetricsText renders the metrics one per line, sorted, with
+// shortest-round-trip float formatting — the canonical byte-diffable
+// form the repro check and the determinism stress compare.
+func (o *Outcome) MetricsText() string {
+	keys := make([]string, 0, len(o.Metrics))
+	for k := range o.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s = %s\n", k, fmtMetric(o.Metrics[k]))
+	}
+	return b.String()
+}
+
+func fmtMetric(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Run executes the spec: once normally, twice with a byte-diff when
+// the spec asks for the repro check, then checks the assertion bands.
+// Band violations land in the outcome, not the error.
+func Run(spec *Spec) (*Outcome, error) {
+	out, err := runOnce(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Repro {
+		again, err := runOnce(spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: repro rerun failed: %w", spec.Name, err)
+		}
+		if out.Rendered != again.Rendered {
+			return nil, fmt.Errorf("scenario %q: not reproducible: rendered output differs across runs", spec.Name)
+		}
+		if a, b := out.MetricsText(), again.MetricsText(); a != b {
+			return nil, fmt.Errorf("scenario %q: not reproducible: metrics differ across runs:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+				spec.Name, a, b)
+		}
+	}
+	for _, band := range spec.Assert {
+		v, ok := out.Metrics[band.Metric]
+		if !ok {
+			return nil, fmt.Errorf("scenario %q: assertion metric %q was not produced by the run (it has %d metrics; see `scenario run -metrics`)",
+				spec.Name, band.Metric, len(out.Metrics))
+		}
+		if (band.Min != nil && v < *band.Min) || (band.Max != nil && v > *band.Max) {
+			out.Violations = append(out.Violations, Violation{Band: band, Value: v})
+		}
+	}
+	return out, nil
+}
+
+// runOnce dispatches one execution of the spec's experiment.
+func runOnce(spec *Spec) (*Outcome, error) {
+	var buf bytes.Buffer
+	var metrics map[string]float64
+	var err error
+	switch spec.Experiment {
+	case "table1":
+		var all []*bench.AppResults
+		all, err = bench.RenderTable1(&buf, bench.Table1Params{
+			N: spec.Param("n"), Procs: spec.Param("procs"), Steps: spec.Param("steps")})
+		metrics = bench.Metrics(all)
+	case "table2":
+		var all []*bench.AppResults
+		all, err = bench.RenderTable2(&buf, bench.Table2Params{
+			Scale: spec.Param("scale"), Procs: spec.Param("procs"),
+			Steps: spec.Param("steps"), Partners: spec.Param("partners")})
+		metrics = bench.Metrics(all)
+	case "table3":
+		var all []*bench.AppResults
+		all, err = bench.RenderTable3(&buf, bench.Table3Params{
+			N: spec.Param("n"), NNZ: spec.Param("nnz"),
+			Procs: spec.Param("procs"), Steps: spec.Param("steps")})
+		metrics = bench.Metrics(all)
+	case "table4":
+		var all []*bench.AppResults
+		all, err = bench.RenderTable4(&buf, bench.Table4Params{
+			Cities: spec.Param("cities"), Items: spec.Param("items"),
+			Procs: spec.Param("procs"), Depth: spec.Param("depth"),
+			Batch: spec.Param("batch"), ItemBatch: spec.Param("item_batch")})
+		metrics = bench.Metrics(all)
+	case "table5":
+		var all []*bench.AppResults
+		all, err = bench.RenderTable5(&buf, bench.Table5Params{
+			Procs: spec.Param("procs"), BudgetKB: spec.Param("budget_kb"),
+			MoldynN: spec.Param("n"), NbfN: spec.Param("nbf"), SpmvN: spec.Param("spmv"),
+			MoldynSteps: spec.Param("moldyn_steps"), Steps: spec.Param("steps")})
+		metrics = bench.Metrics(all)
+	case "memory":
+		var rep *bench.AnecdoteReport
+		rep, err = bench.RenderMemorySweep(&buf, bench.MemorySweepParams{
+			N: spec.Param("n"), Procs: spec.Param("procs")})
+		if rep != nil {
+			metrics = map[string]float64{
+				"anecdote/ttable_msgs": float64(rep.TtableMsgs),
+				"anecdote/ttable_mb":   float64(rep.TtableBytes) / 1e6,
+				"anecdote/peak_kb":     rep.PeakKB,
+				"anecdote/time_s":      rep.TimeSec,
+			}
+		}
+	case "app":
+		metrics, err = runAppExperiment(spec, &buf)
+	default:
+		// validate() rejects anything else; a hole here is a bug.
+		return nil, fmt.Errorf("scenario %q: unexecutable experiment %q", spec.Name, spec.Experiment)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	return &Outcome{Spec: spec, Rendered: buf.String(), Metrics: metrics}, nil
+}
+
+// runAppExperiment runs the generic app experiment: the cross product
+// of the sweep values (if any) and the procs list, each configuration
+// verified across all four backends, rendered as one table with the
+// rows the spec's variants select.
+func runAppExperiment(spec *Spec, w io.Writer) (map[string]float64, error) {
+	sweepVals := []int{0}
+	if spec.Sweep != nil {
+		sweepVals = spec.Sweep.Values
+	}
+	want := map[string]bool{}
+	for _, v := range spec.Variants {
+		want[v] = true
+	}
+
+	title := fmt.Sprintf("Scenario %s: %s (N=%d).", spec.Name, spec.App, spec.N)
+	tbl := &bench.Table{Title: title}
+	var all []*bench.AppResults
+	for _, sv := range sweepVals {
+		for _, procs := range spec.Procs {
+			cfg := apps.Config{N: spec.N, Procs: procs, Steps: spec.Steps, Seed: spec.Seed}
+			for k, v := range spec.Knobs {
+				cfg = cfg.WithKnob(k, v)
+			}
+			label := fmt.Sprintf("%d procs", procs)
+			if spec.Sweep != nil {
+				label = fmt.Sprintf("%s=%d, %s", spec.Sweep.Axis, sv, label)
+				switch spec.Sweep.Axis {
+				case "n":
+					cfg.N = sv
+				case "steps":
+					cfg.Steps = sv
+				case "latency_us":
+					cfg.Machine.LatencyUS = sv
+				case "bandwidth_mbs":
+					cfg.Machine.BandwidthMBs = sv
+				default:
+					cfg = cfg.WithKnob(spec.Sweep.Axis, sv)
+				}
+			}
+			res, err := bench.RunApp(spec.App, cfg, label)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, res)
+			for _, r := range res.All() {
+				if !want[r.System] {
+					continue
+				}
+				tbl.Rows = append(tbl.Rows, bench.Row{
+					Config: res.Config, System: r.System, TimeSec: r.TimeSec,
+					Speedup: r.Speedup, Messages: r.Messages, DataMB: r.DataMB,
+					Detail: r.Detail,
+				})
+			}
+		}
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	return bench.Metrics(all), nil
+}

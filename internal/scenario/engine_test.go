@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAppExperiment runs the generic app experiment end to end on a
+// tiny moldyn: rendered table, flattened metrics, repro check, and a
+// band that holds.
+func TestAppExperiment(t *testing.T) {
+	spec, err := Parse([]byte(`
+name: tiny-moldyn
+experiment: app
+app: moldyn
+n: 64
+steps: 2
+procs: [2]
+repro: true
+assert:
+  - metric: "moldyn/2 procs/seq/speedup"
+    min: 1
+    max: 1
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", out.Violations)
+	}
+	for _, want := range []string{"Scenario tiny-moldyn: moldyn (N=64).", "2 procs (seq = ", "tmk-opt",
+		"All parallel backends verified bit-identical to the sequential program."} {
+		if !strings.Contains(out.Rendered, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out.Rendered)
+		}
+	}
+	for _, key := range []string{
+		"moldyn/2 procs/seq/time_s", "moldyn/2 procs/chaos/messages",
+		"moldyn/2 procs/tmk/data_mb", "moldyn/2 procs/tmk-opt/speedup",
+	} {
+		if _, ok := out.Metrics[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+	if !strings.Contains(out.MetricsText(), "moldyn/2 procs/seq/speedup = 1\n") {
+		t.Errorf("MetricsText missing the seq speedup line:\n%s", out.MetricsText())
+	}
+}
+
+// TestVariantFilter checks the variants list selects table rows
+// without touching the metrics (bands can reference any slot).
+func TestVariantFilter(t *testing.T) {
+	spec, err := Parse([]byte(`
+name: chaos-only
+experiment: app
+app: moldyn
+n: 64
+steps: 2
+procs: [2]
+variants: [chaos]
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, absent := range []string{" seq ", " tmk ", " tmk-opt "} {
+		if strings.Contains(out.Rendered, absent) {
+			t.Errorf("rendered output has filtered-out row %q:\n%s", absent, out.Rendered)
+		}
+	}
+	if !strings.Contains(out.Rendered, "chaos") {
+		t.Errorf("rendered output missing the chaos row:\n%s", out.Rendered)
+	}
+	if _, ok := out.Metrics["moldyn/2 procs/tmk/time_s"]; !ok {
+		t.Errorf("metrics must keep all slots regardless of variants")
+	}
+}
+
+// TestLatencySweep checks the latency_us axis actually reaches the
+// simulated machine: tripling the wire latency must slow the parallel
+// backends and leave the message-free sequential run untouched.
+func TestLatencySweep(t *testing.T) {
+	spec, err := Parse([]byte(`
+name: latency
+experiment: app
+app: moldyn
+n: 64
+steps: 2
+procs: [2]
+sweep:
+  axis: latency_us
+  values: [85, 255]
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	fast := out.Metrics["moldyn/latency_us=85, 2 procs/chaos/time_s"]
+	slow := out.Metrics["moldyn/latency_us=255, 2 procs/chaos/time_s"]
+	if !(slow > fast) {
+		t.Errorf("chaos time at 255us (%g) not above 85us (%g)", slow, fast)
+	}
+	seqFast := out.Metrics["moldyn/latency_us=85, 2 procs/seq/time_s"]
+	seqSlow := out.Metrics["moldyn/latency_us=255, 2 procs/seq/time_s"]
+	if seqFast != seqSlow {
+		t.Errorf("sequential time moved with latency: %g vs %g", seqFast, seqSlow)
+	}
+}
+
+// TestFailingFixture is the deliberately-failing scenario: the band on
+// the sequential speedup cannot hold, and the violation must name the
+// offending metric, the expected band, and the observed value.
+func TestFailingFixture(t *testing.T) {
+	spec, err := Load("testdata/failing.yaml")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out.Violations) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(out.Violations), out.Violations)
+	}
+	v := out.Violations[0]
+	if v.Band.Metric != "moldyn/2 procs/seq/speedup" || v.Value != 1 {
+		t.Errorf("violation = %+v", v)
+	}
+	if got, want := v.String(), "metric moldyn/2 procs/seq/speedup = 1 outside band [10, 100]"; got != want {
+		t.Errorf("violation string:\n got  %q\n want %q", got, want)
+	}
+}
+
+// TestUnknownAssertMetric checks a band naming a metric the run never
+// produced is an error, not a silent pass.
+func TestUnknownAssertMetric(t *testing.T) {
+	spec, err := Parse([]byte(`
+name: ghost
+experiment: app
+app: moldyn
+n: 64
+steps: 2
+procs: [2]
+assert:
+  - metric: moldyn/2 procs/seq/wall_ns
+    min: 0
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	_, err = Run(spec)
+	if err == nil || !strings.Contains(err.Error(), `assertion metric "moldyn/2 procs/seq/wall_ns" was not produced`) {
+		t.Fatalf("Run error = %v, want unknown-metric error", err)
+	}
+}

@@ -1,0 +1,561 @@
+// Package scenario turns the repo's experiments into data: a spec file
+// (YAML subset or JSON) names an experiment — one of the paper tables,
+// the §9 memory sweep, or a generic registered application — with its
+// parameters, optional sweep axis, assertion bands on the verified
+// metrics, and an exact-reproducibility check. The engine (engine.go)
+// executes a validated spec through the same internal/bench renderers
+// the table commands use, so a scenario's rendered output is
+// byte-identical to the bespoke command's golden fixture.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+)
+
+// MaxProcs bounds the simulated cluster a spec may ask for; the
+// shard-scheduled simulator is exercised far below this, and a typo'd
+// proc count should fail validation, not allocate a absurd cluster.
+const MaxProcs = 1024
+
+// Band is one assertion: the named metric must land inside [Min, Max]
+// (either side may be open).
+type Band struct {
+	Metric string
+	Min    *float64
+	Max    *float64
+}
+
+// Interval renders the band in interval notation for violation
+// reports and error messages.
+func (b Band) Interval() string {
+	switch {
+	case b.Min != nil && b.Max != nil:
+		return fmt.Sprintf("[%g, %g]", *b.Min, *b.Max)
+	case b.Min != nil:
+		return fmt.Sprintf("[%g, +inf)", *b.Min)
+	case b.Max != nil:
+		return fmt.Sprintf("(-inf, %g]", *b.Max)
+	}
+	return "(-inf, +inf)"
+}
+
+// Sweep names one swept axis of an app experiment: the run grid is the
+// cross product of the sweep values and the procs list.
+type Sweep struct {
+	Axis   string
+	Values []int
+}
+
+// Spec is one validated scenario.
+type Spec struct {
+	Name        string
+	Description string
+	// Experiment is table1..table5, memory, or app.
+	Experiment string
+	// Params carries the table/memory experiments' parameters (the
+	// corresponding command's flags); unset keys take the command's
+	// flag defaults.
+	Params map[string]int
+	// Repro asks the engine to run the whole experiment twice and
+	// byte-diff the rendered output and the metrics text.
+	Repro bool
+
+	// The app-experiment fields (rejected for the other experiments).
+	App      string
+	N        int
+	Steps    int
+	Seed     int64
+	Procs    []int
+	Variants []string
+	Knobs    map[string]int
+	Sweep    *Sweep
+
+	// Assert carries the bands checked against the run's metrics.
+	Assert []Band
+}
+
+// experiments maps each canned experiment to its parameter schema; the
+// defaults mirror the corresponding command's flag defaults, so an
+// empty params block reproduces `go run ./cmd/tableN` exactly.
+var experiments = map[string]map[string]int{
+	"table1": {"n": 4096, "procs": 8, "steps": 40},
+	"table2": {"scale": 16, "procs": 8, "steps": 10, "partners": 100},
+	"table3": {"n": 16384, "nnz": 24, "procs": 8, "steps": 12},
+	"table4": {"cities": 11, "items": 2048, "procs": 8, "depth": 3, "batch": 4, "item_batch": 8},
+	"table5": {"procs": 8, "budget_kb": 12, "n": 512, "nbf": 2048, "spmv": 4096, "moldyn_steps": 10, "steps": 4},
+	"memory": {"n": 1024, "procs": 8},
+}
+
+// variantSlots is the registry's four result slots (apps.Result.System).
+var variantSlots = []string{"seq", "chaos", "tmk", "tmk-opt"}
+
+// Param returns a table/memory experiment parameter, falling back to
+// the command-flag default.
+func (s *Spec) Param(name string) int {
+	if v, ok := s.Params[name]; ok {
+		return v
+	}
+	return experiments[s.Experiment][name]
+}
+
+// Load reads and validates one spec file; the format follows the
+// extension.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var spec *Spec
+	switch ext := filepath.Ext(path); ext {
+	case ".yaml", ".yml":
+		spec, err = Parse(data)
+	case ".json":
+		spec, err = ParseJSON(data)
+	default:
+		return nil, fmt.Errorf("scenario: %s: unsupported extension %q (want .yaml, .yml, or .json)", path, ext)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// Parse decodes and validates one YAML spec document.
+func Parse(data []byte) (*Spec, error) {
+	doc, err := parseYAML(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	return FromGeneric(doc)
+}
+
+// ParseJSON decodes and validates one JSON spec document.
+func ParseJSON(data []byte) (*Spec, error) {
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	return FromGeneric(doc)
+}
+
+// Files lists the spec files (*.yaml, *.yml, *.json) directly under
+// dir, sorted; scenario directories are flat by convention.
+func Files(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".yaml", ".yml", ".json":
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// specKeys is the complete top-level vocabulary; anything else is a
+// typo and must not silently validate.
+var specKeys = map[string]bool{
+	"name": true, "description": true, "experiment": true, "params": true,
+	"repro": true, "app": true, "n": true, "steps": true, "seed": true,
+	"procs": true, "variants": true, "knobs": true, "sweep": true, "assert": true,
+}
+
+// FromGeneric builds and validates a Spec from the generic
+// map/slice/scalar shape both decoders produce.
+func FromGeneric(doc any) (*Spec, error) {
+	m, ok := doc.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("scenario: top-level document must be a mapping")
+	}
+	for _, k := range sortedMapKeys(m) {
+		if !specKeys[k] {
+			return nil, fmt.Errorf("scenario: unknown key %q", k)
+		}
+	}
+	s := &Spec{}
+	var err error
+	if s.Name, err = optString(m, "name"); err != nil {
+		return nil, err
+	}
+	if s.Description, err = optString(m, "description"); err != nil {
+		return nil, err
+	}
+	if s.Experiment, err = optString(m, "experiment"); err != nil {
+		return nil, err
+	}
+	if s.Params, err = optIntMap(m, "params"); err != nil {
+		return nil, err
+	}
+	if s.Repro, err = optBool(m, "repro"); err != nil {
+		return nil, err
+	}
+	if s.App, err = optString(m, "app"); err != nil {
+		return nil, err
+	}
+	if s.N, _, err = optInt(m, "n"); err != nil {
+		return nil, err
+	}
+	if s.Steps, _, err = optInt(m, "steps"); err != nil {
+		return nil, err
+	}
+	seed, _, err := optInt(m, "seed")
+	if err != nil {
+		return nil, err
+	}
+	s.Seed = int64(seed)
+	if s.Procs, err = optIntList(m, "procs"); err != nil {
+		return nil, err
+	}
+	if s.Variants, err = optStringList(m, "variants"); err != nil {
+		return nil, err
+	}
+	if s.Knobs, err = optIntMap(m, "knobs"); err != nil {
+		return nil, err
+	}
+	if s.Sweep, err = optSweep(m); err != nil {
+		return nil, err
+	}
+	if s.Assert, err = optBands(m); err != nil {
+		return nil, err
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validate checks the decoded spec against the experiment schemas and
+// the application registry, then fills the app-experiment defaults
+// (procs [8], all four variants).
+func (s *Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf(`scenario: missing required key "name"`)
+	}
+	if s.Experiment == "" {
+		return fmt.Errorf(`scenario %q: missing required key "experiment"`, s.Name)
+	}
+	schema, canned := experiments[s.Experiment]
+	if !canned && s.Experiment != "app" {
+		return fmt.Errorf("scenario %q: unknown experiment %q (want app, memory, table1, table2, table3, table4, or table5)",
+			s.Name, s.Experiment)
+	}
+
+	if canned {
+		appOnly := []struct {
+			key string
+			set bool
+		}{
+			{"app", s.App != ""}, {"n", s.N != 0}, {"steps", s.Steps != 0},
+			{"seed", s.Seed != 0}, {"procs", len(s.Procs) > 0},
+			{"variants", len(s.Variants) > 0}, {"knobs", len(s.Knobs) > 0},
+			{"sweep", s.Sweep != nil},
+		}
+		for _, f := range appOnly {
+			if f.set {
+				return fmt.Errorf("scenario %q: key %q only applies to the app experiment", s.Name, f.key)
+			}
+		}
+		for _, k := range sortedIntMapKeys(s.Params) {
+			if _, ok := schema[k]; !ok {
+				return fmt.Errorf("scenario %q: experiment %s does not take param %q (takes: %v)",
+					s.Name, s.Experiment, k, sortedIntMapKeys(schema))
+			}
+			if s.Params[k] < 0 {
+				return fmt.Errorf("scenario %q: param %q must be non-negative (got %d)", s.Name, k, s.Params[k])
+			}
+		}
+		if p := s.Param("procs"); p < 1 || p > MaxProcs {
+			return fmt.Errorf("scenario %q: proc count %d out of range [1, %d]", s.Name, p, MaxProcs)
+		}
+	} else {
+		if len(s.Params) > 0 {
+			return fmt.Errorf(`scenario %q: key "params" only applies to the table and memory experiments`, s.Name)
+		}
+		if s.App == "" {
+			return fmt.Errorf(`scenario %q: the app experiment needs "app"`, s.Name)
+		}
+		knobs, ok := apps.Knobs(s.App)
+		if !ok {
+			return fmt.Errorf("scenario %q: unknown application %q (registered: %v)", s.Name, s.App, apps.Names())
+		}
+		if s.N <= 0 {
+			return fmt.Errorf(`scenario %q: the app experiment needs a positive "n" (got %d)`, s.Name, s.N)
+		}
+		for _, p := range s.Procs {
+			if p < 1 || p > MaxProcs {
+				return fmt.Errorf("scenario %q: proc count %d out of range [1, %d]", s.Name, p, MaxProcs)
+			}
+		}
+		for _, v := range s.Variants {
+			if !contains(variantSlots, v) {
+				return fmt.Errorf("scenario %q: unknown variant %q (want %s)",
+					s.Name, v, strings.Join(variantSlots, ", "))
+			}
+		}
+		for _, k := range sortedIntMapKeys(s.Knobs) {
+			if !contains(knobs, k) {
+				return fmt.Errorf("scenario %q: %s does not declare knob %q (declares: %v)", s.Name, s.App, k, knobs)
+			}
+		}
+		if s.Sweep != nil {
+			if s.Sweep.Axis == "procs" {
+				return fmt.Errorf(`scenario %q: "procs" is not a sweep axis (give a procs list instead)`, s.Name)
+			}
+			if !contains([]string{"n", "steps", "latency_us", "bandwidth_mbs"}, s.Sweep.Axis) &&
+				!contains(knobs, s.Sweep.Axis) {
+				return fmt.Errorf("scenario %q: %s cannot sweep axis %q (axes: n, steps, latency_us, bandwidth_mbs, and knobs %v)",
+					s.Name, s.App, s.Sweep.Axis, knobs)
+			}
+			if len(s.Sweep.Values) == 0 {
+				return fmt.Errorf("scenario %q: sweep over %q has no values", s.Name, s.Sweep.Axis)
+			}
+			for _, v := range s.Sweep.Values {
+				if v <= 0 {
+					return fmt.Errorf("scenario %q: sweep value %d must be positive", s.Name, v)
+				}
+			}
+		}
+		if len(s.Procs) == 0 {
+			s.Procs = []int{8}
+		}
+		if len(s.Variants) == 0 {
+			s.Variants = append([]string(nil), variantSlots...)
+		}
+	}
+
+	for _, b := range s.Assert {
+		if b.Metric == "" {
+			return fmt.Errorf(`scenario %q: assertion needs a "metric"`, s.Name)
+		}
+		if b.Min == nil && b.Max == nil {
+			return fmt.Errorf(`scenario %q: assertion on %q needs "min" and/or "max"`, s.Name, b.Metric)
+		}
+		if b.Min != nil && b.Max != nil && *b.Min > *b.Max {
+			return fmt.Errorf("scenario %q: assertion on %q has an empty band (min %g > max %g)",
+				s.Name, b.Metric, *b.Min, *b.Max)
+		}
+	}
+	return nil
+}
+
+// --- generic-shape field extraction ---
+
+func optString(m map[string]any, key string) (string, error) {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return "", nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("scenario: key %q must be a string (got %v)", key, v)
+	}
+	return s, nil
+}
+
+func optBool(m map[string]any, key string) (bool, error) {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return false, nil
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("scenario: key %q must be true or false (got %v)", key, v)
+	}
+	return b, nil
+}
+
+func optInt(m map[string]any, key string) (int, bool, error) {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return 0, false, nil
+	}
+	n, err := intVal(v, key)
+	return n, err == nil, err
+}
+
+// intVal narrows a decoded number (always float64, matching
+// encoding/json) to an exact integer.
+func intVal(v any, what string) (int, error) {
+	f, ok := v.(float64)
+	if !ok || f != float64(int(f)) {
+		return 0, fmt.Errorf("scenario: %s must be an integer (got %v)", what, v)
+	}
+	return int(f), nil
+}
+
+func optIntMap(m map[string]any, key string) (map[string]int, error) {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil, nil
+	}
+	mm, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("scenario: key %q must be a mapping of integers (got %v)", key, v)
+	}
+	out := make(map[string]int, len(mm))
+	for _, k := range sortedMapKeys(mm) {
+		n, err := intVal(mm[k], fmt.Sprintf("%s.%s", key, k))
+		if err != nil {
+			return nil, err
+		}
+		out[k] = n
+	}
+	return out, nil
+}
+
+func optIntList(m map[string]any, key string) ([]int, error) {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil, nil
+	}
+	l, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("scenario: key %q must be a list of integers (got %v)", key, v)
+	}
+	out := make([]int, 0, len(l))
+	for i, e := range l {
+		n, err := intVal(e, fmt.Sprintf("%s[%d]", key, i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func optStringList(m map[string]any, key string) ([]string, error) {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil, nil
+	}
+	l, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("scenario: key %q must be a list of strings (got %v)", key, v)
+	}
+	out := make([]string, 0, len(l))
+	for i, e := range l {
+		s, ok := e.(string)
+		if !ok {
+			return nil, fmt.Errorf("scenario: %s[%d] must be a string (got %v)", key, i, e)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func optSweep(m map[string]any) (*Sweep, error) {
+	v, ok := m["sweep"]
+	if !ok || v == nil {
+		return nil, nil
+	}
+	mm, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf(`scenario: key "sweep" must be a mapping with "axis" and "values" (got %v)`, v)
+	}
+	for _, k := range sortedMapKeys(mm) {
+		if k != "axis" && k != "values" {
+			return nil, fmt.Errorf("scenario: unknown sweep key %q (want axis, values)", k)
+		}
+	}
+	sw := &Sweep{}
+	var err error
+	if sw.Axis, err = optString(mm, "axis"); err != nil {
+		return nil, err
+	}
+	if sw.Axis == "" {
+		return nil, fmt.Errorf(`scenario: a sweep needs an "axis"`)
+	}
+	if sw.Values, err = optIntList(mm, "values"); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func optBands(m map[string]any) ([]Band, error) {
+	v, ok := m["assert"]
+	if !ok || v == nil {
+		return nil, nil
+	}
+	l, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf(`scenario: key "assert" must be a list of bands (got %v)`, v)
+	}
+	out := make([]Band, 0, len(l))
+	for i, e := range l {
+		mm, ok := e.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf(`scenario: assert[%d] must be a mapping with "metric" and "min"/"max" (got %v)`, i, e)
+		}
+		for _, k := range sortedMapKeys(mm) {
+			if k != "metric" && k != "min" && k != "max" {
+				return nil, fmt.Errorf("scenario: unknown assert key %q (want metric, min, max)", k)
+			}
+		}
+		var b Band
+		var err error
+		if b.Metric, err = optString(mm, "metric"); err != nil {
+			return nil, err
+		}
+		if b.Min, err = optFloat(mm, "min"); err != nil {
+			return nil, err
+		}
+		if b.Max, err = optFloat(mm, "max"); err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func optFloat(m map[string]any, key string) (*float64, error) {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil, nil
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return nil, fmt.Errorf("scenario: key %q must be a number (got %v)", key, v)
+	}
+	return &f, nil
+}
+
+func sortedMapKeys(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedIntMapKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(l []string, s string) bool {
+	for _, e := range l {
+		if e == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,280 @@
+// A YAML-subset decoder for scenario files. The repo carries zero
+// external dependencies, so instead of importing a YAML library the
+// spec loader parses the subset the scenario schema needs: nested
+// block mappings, block sequences (of scalars or of mappings), flow
+// sequences ([a, b, c]), quoted and plain scalars, and '#' comments.
+// The decoder produces the same generic shape encoding/json does
+// (map[string]any / []any / float64 / bool / string), so the spec
+// builder in spec.go is format-agnostic.
+//
+// Deliberately NOT supported (a scenario file should stay boring):
+// anchors/aliases, multi-document streams, flow mappings, block
+// scalars (| and >), tags, and tab indentation — all are load errors
+// or plain strings, never silent misparses.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlLine is one significant (non-blank, non-comment) line.
+type yamlLine struct {
+	num    int // 1-based line number in the source
+	indent int // leading spaces
+	text   string
+}
+
+// parseYAML decodes data into the generic map/slice/scalar shape.
+func parseYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		if strings.Contains(raw, "\t") && strings.IndexFunc(raw, func(r rune) bool { return r != ' ' && r != '\t' }) > strings.Index(raw, "\t") {
+			return nil, fmt.Errorf("line %d: tab in indentation (use spaces)", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "---" {
+			return nil, fmt.Errorf("line %d: multi-document streams are not supported", i+1)
+		}
+		lines = append(lines, yamlLine{
+			num:    i + 1,
+			indent: len(text) - len(strings.TrimLeft(text, " ")),
+			text:   trimmed,
+		})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	v, rest, err := parseBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("line %d: unexpected indentation", rest[0].num)
+	}
+	return v, nil
+}
+
+// stripComment removes a '#' comment (full-line, or preceded by a
+// space) outside quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inD:
+			inS = !inS
+		case r == '"' && !inS:
+			inD = !inD
+		case r == '#' && !inS && !inD:
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses one block (mapping or sequence) whose entries sit
+// at exactly the given indent, returning the remaining lines (the
+// first line with indent < the block's).
+func parseBlock(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("empty block")
+	}
+	if lines[0].indent != indent {
+		return nil, nil, fmt.Errorf("line %d: unexpected indentation", lines[0].num)
+	}
+	if strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-" {
+		return parseSequence(lines, indent)
+	}
+	return parseMapping(lines, indent)
+}
+
+func parseMapping(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	out := map[string]any{}
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, nil, fmt.Errorf("line %d: sequence item in a mapping", l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, nil, fmt.Errorf("line %d: duplicate key %q", l.num, key)
+		}
+		lines = lines[1:]
+		if rest != "" {
+			v, err := parseScalar(rest, l.num)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[key] = v
+			continue
+		}
+		// "key:" introduces a nested block on the following deeper
+		// lines; a key with nothing below is an empty value.
+		if len(lines) == 0 || lines[0].indent <= indent {
+			out[key] = nil
+			continue
+		}
+		v, remaining, err := parseBlock(lines, lines[0].indent)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[key] = v
+		lines = remaining
+	}
+	return out, lines, nil
+}
+
+func parseSequence(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	out := []any{}
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent || !(strings.HasPrefix(l.text, "- ") || l.text == "-") {
+			return nil, nil, fmt.Errorf("line %d: expected a \"- \" sequence item", l.num)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			// "-" alone: the item is the following deeper block.
+			lines = lines[1:]
+			if len(lines) == 0 || lines[0].indent <= indent {
+				return nil, nil, fmt.Errorf("line %d: empty sequence item", l.num)
+			}
+			v, remaining, err := parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, v)
+			lines = remaining
+			continue
+		}
+		if isMapStart(rest) {
+			// "- key: value": the item is a mapping whose first entry is
+			// inlined after the dash and whose further entries sit on the
+			// following lines, indented past the dash.
+			item := yamlLine{num: l.num, indent: indent + 2, text: rest}
+			body := []yamlLine{item}
+			lines = lines[1:]
+			for len(lines) > 0 && lines[0].indent > indent {
+				if lines[0].indent != indent+2 {
+					return nil, nil, fmt.Errorf("line %d: sequence-item mapping entries must align with the first key", lines[0].num)
+				}
+				body = append(body, lines[0])
+				lines = lines[1:]
+			}
+			v, remaining, err := parseMapping(body, indent+2)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(remaining) > 0 {
+				return nil, nil, fmt.Errorf("line %d: unexpected indentation", remaining[0].num)
+			}
+			out = append(out, v)
+			continue
+		}
+		v, err := parseScalar(rest, l.num)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, v)
+		lines = lines[1:]
+	}
+	return out, lines, nil
+}
+
+// splitKey splits "key: value" / "key:"; the key must be a plain
+// identifier-ish scalar (no quoting needed for this schema).
+func splitKey(l yamlLine) (key, rest string, err error) {
+	i := strings.Index(l.text, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("line %d: expected \"key: value\"", l.num)
+	}
+	if i+1 < len(l.text) && l.text[i+1] != ' ' {
+		return "", "", fmt.Errorf("line %d: missing space after %q", l.num, l.text[:i+1])
+	}
+	key = strings.TrimSpace(l.text[:i])
+	if key == "" || strings.ContainsAny(key, "\"'{}[],&*!|>%@`") {
+		return "", "", fmt.Errorf("line %d: invalid key %q", l.num, key)
+	}
+	return key, strings.TrimSpace(l.text[i+1:]), nil
+}
+
+// isMapStart reports whether a sequence-item payload starts a mapping
+// ("key: ..." rather than a scalar containing a colon, which would be
+// quoted in this schema).
+func isMapStart(s string) bool {
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") || strings.HasPrefix(s, "[") {
+		return false
+	}
+	i := strings.Index(s, ":")
+	return i > 0 && (i == len(s)-1 || s[i+1] == ' ')
+}
+
+// parseScalar decodes an inline value: flow sequence, quoted string,
+// bool, null, number, or plain string.
+func parseScalar(s string, line int) (any, error) {
+	switch {
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("line %d: unterminated flow sequence %q", line, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var out []any
+		for _, part := range strings.Split(inner, ",") {
+			v, err := parseScalar(strings.TrimSpace(part), line)
+			if err != nil {
+				return nil, err
+			}
+			if _, nested := v.([]any); nested {
+				return nil, fmt.Errorf("line %d: nested flow sequences are not supported", line)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "\""):
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad quoted string %s", line, s)
+		}
+		return unq, nil
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, fmt.Errorf("line %d: bad quoted string %s", line, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s == "null" || s == "~":
+		return nil, nil
+	case strings.HasPrefix(s, "{"):
+		return nil, fmt.Errorf("line %d: flow mappings are not supported", line)
+	case strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, fmt.Errorf("line %d: block scalars are not supported", line)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

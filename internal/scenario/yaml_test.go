@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseYAMLShapes drives the subset parser over every construct
+// the scenario schema uses and checks the generic shape matches what
+// encoding/json would produce.
+func TestParseYAMLShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want any
+	}{
+		{"flat mapping", "a: 1\nb: two\nc: true\n",
+			map[string]any{"a": 1.0, "b": "two", "c": true}},
+		{"nested mapping", "outer:\n  inner: 3\n",
+			map[string]any{"outer": map[string]any{"inner": 3.0}}},
+		{"flow sequence", "l: [1, 2, 3]\n",
+			map[string]any{"l": []any{1.0, 2.0, 3.0}}},
+		{"empty flow sequence", "l: []\n",
+			map[string]any{"l": []any{}}},
+		{"block sequence of scalars", "l:\n  - 1\n  - 2\n",
+			map[string]any{"l": []any{1.0, 2.0}}},
+		{"block sequence of mappings", "l:\n  - a: 1\n    b: 2\n  - a: 3\n",
+			map[string]any{"l": []any{
+				map[string]any{"a": 1.0, "b": 2.0},
+				map[string]any{"a": 3.0}}}},
+		{"comments and blanks", "# heading\na: 1  # trailing\n\nb: 2\n",
+			map[string]any{"a": 1.0, "b": 2.0}},
+		{"quoted strings", `a: "x # not a comment"` + "\nb: 'it''s'\n",
+			map[string]any{"a": "x # not a comment", "b": "it's"}},
+		{"null and floats", "a: null\nb: 1.5\nc: ~\n",
+			map[string]any{"a": nil, "b": 1.5, "c": nil}},
+		{"empty value key", "a:\nb: 1\n",
+			map[string]any{"a": nil, "b": 1.0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseYAML([]byte(tc.in))
+			if err != nil {
+				t.Fatalf("parseYAML: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parseYAML:\n got  %#v\n want %#v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseYAMLErrors checks that unsupported or malformed YAML is a
+// load error, never a silent misparse.
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"tab indentation", "a:\n\tb: 1\n", "tab in indentation"},
+		{"multi-document", "---\na: 1\n", "multi-document streams are not supported"},
+		{"duplicate key", "a: 1\na: 2\n", `duplicate key "a"`},
+		{"bad indent", "a: 1\n   b: 2\n", "unexpected indentation"},
+		{"missing space after colon", "a:1\n", `missing space after "a:"`},
+		{"unterminated flow", "a: [1, 2\n", "unterminated flow sequence"},
+		{"flow mapping", "a: {b: 1}\n", "flow mappings are not supported"},
+		{"block scalar", "a: |\n  text\n", "block scalars are not supported"},
+		{"empty document", "# nothing\n", "empty document"},
+		{"sequence item in mapping", "a: 1\n- b\n", "sequence item in a mapping"},
+		{"misaligned item mapping", "l:\n  - a: 1\n      b: 2\n",
+			"sequence-item mapping entries must align"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("parseYAML accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("parseYAML error %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
