@@ -11,6 +11,13 @@ BENCH_PKGS    := . ./internal/sim
 BENCH_PATTERN := ^(BenchmarkArbiter|BenchmarkDelivery|BenchmarkStatsCount)
 BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=100x -count=6
 
+# The serial-vs-parallel full-table sweep (internal/runner) runs in a
+# separate invocation: one iteration is the whole five-table CI-size
+# sweep, so -benchtime=100x would take hours. Its two legs land in the
+# same raw file and BENCH_sim.json records both — their ratio is the
+# `scenario run -j` wall-clock claim.
+BENCH_SWEEP_FLAGS := -run '^$$' -bench '^BenchmarkTableSweep' -benchtime=1x -count=3
+
 .PHONY: test race bench-baseline bench-check
 
 test:
@@ -19,14 +26,16 @@ test:
 race:
 	go test -race ./...
 
-# Refresh the committed baseline on this machine. Two commands, not a
-# pipe: a benchmark that panics mid-run must fail the target instead of
-# handing benchgate partial output.
+# Refresh the committed baseline on this machine. Separate commands,
+# not a pipe: a benchmark that panics mid-run must fail the target
+# instead of handing benchgate partial output.
 bench-baseline:
 	go test $(BENCH_FLAGS) $(BENCH_PKGS) > /tmp/bench-raw.txt
+	go test $(BENCH_SWEEP_FLAGS) ./internal/runner >> /tmp/bench-raw.txt
 	go run ./cmd/benchgate -out BENCH_sim.json < /tmp/bench-raw.txt
 
 # Run the same gate CI runs: fail if anything regressed >30%.
 bench-check:
 	go test $(BENCH_FLAGS) $(BENCH_PKGS) > /tmp/bench-raw.txt
+	go test $(BENCH_SWEEP_FLAGS) ./internal/runner >> /tmp/bench-raw.txt
 	go run ./cmd/benchgate -baseline BENCH_sim.json < /tmp/bench-raw.txt

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/apps"
 	"repro/internal/apps/moldyn"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/rsd"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/tmk"
 )
@@ -32,14 +36,16 @@ func main() {
 	procs := flag.Int("procs", 8, "processors")
 	flag.Parse()
 
-	if err := run(os.Stdout, *sweep, *n, *procs); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, *sweep, *n, *procs); err != nil {
 		fmt.Fprintln(os.Stderr, "ablate:", err)
 		os.Exit(1)
 	}
 }
 
 // run dispatches one sweep onto w (the golden tests render through it).
-func run(w io.Writer, sweep string, n, procs int) error {
+func run(ctx context.Context, w io.Writer, sweep string, n, procs int) error {
 	switch sweep {
 	case "update":
 		sweepUpdate(w, n, procs)
@@ -56,10 +62,16 @@ func run(w io.Writer, sweep string, n, procs int) error {
 	case "ttable":
 		sweepTTable(w, n, procs)
 	case "memory":
-		// The §9 capacity sweep lives in bench.RenderMemorySweep so the
-		// scenario engine renders identical bytes (cmd/scenario).
-		_, err := bench.RenderMemorySweep(w, bench.MemorySweepParams{N: n, Procs: procs})
-		return err
+		// The §9 capacity sweep executes through the shared runner and
+		// renders via bench.PresentMemorySweep so the scenario engine
+		// produces identical bytes (cmd/scenario).
+		sp := bench.MemorySweepParams{N: n, Procs: procs}
+		res, err := runner.Default().Do(ctx, bench.MemoryRequest(sp, nil))
+		if err != nil {
+			return err
+		}
+		bench.PresentMemorySweep(w, sp, res)
+		return nil
 	default:
 		return fmt.Errorf("unknown sweep: %s", sweep)
 	}

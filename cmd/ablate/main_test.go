@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func goldenSweep(t *testing.T, sweep string, n, procs int) {
 		t.Skip("golden render skipped under -race (see internal/raceflag)")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, sweep, n, procs); err != nil {
+	if err := run(context.Background(), &buf, sweep, n, procs); err != nil {
 		t.Fatalf("sweep %s: %v", sweep, err)
 	}
 	golden.Check(t, buf.Bytes(), "testdata/"+sweep+".golden", *update)
@@ -42,7 +43,7 @@ func TestGoldenMemorySweep(t *testing.T) {
 		t.Skip("golden render skipped under -race (see internal/raceflag)")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "memory", 512, 8); err != nil {
+	if err := run(context.Background(), &buf, "memory", 512, 8); err != nil {
 		t.Fatal(err)
 	}
 	golden.Check(t, buf.Bytes(), "testdata/memory.golden", *update)
@@ -60,7 +61,7 @@ func TestGoldenMemorySweep(t *testing.T) {
 
 func TestUnknownSweepErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nonsense", 64, 2); err == nil {
+	if err := run(context.Background(), &buf, "nonsense", 64, 2); err == nil {
 		t.Fatal("unknown sweep did not error")
 	}
 }

@@ -5,24 +5,32 @@
 // to the corresponding command (cmd/table1..5, cmd/ablate
 // -sweep=memory), so the existing golden fixtures are the contract.
 //
-//	scenario run [-repro] [-procs N] [-out dir] [-metrics] <file|dir|dir/...>...
+//	scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] <file|dir|dir/...>...
 //	scenario validate <file|dir|dir/...>...
 //	scenario list <file|dir|dir/...>...
 //
-// run exits non-zero when any assertion band is violated, when the
-// repro check finds a run-to-run difference, or when a spec fails to
-// load; validate exits non-zero on the first invalid spec.
+// run executes the scenarios on a bounded worker pool (-j, default
+// GOMAXPROCS) fronted by a content-addressed result cache; outputs are
+// reassembled in input order, so any -j renders the same bytes as
+// -j 1. It exits non-zero when any assertion band is violated, when
+// the repro check finds a run-to-run difference, or when a spec fails
+// to load; validate exits non-zero on the first invalid spec.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"io/fs"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
+	"repro/internal/cache"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
@@ -31,10 +39,12 @@ func main() {
 		usage(os.Stderr)
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
 	case "run":
-		err = runCmd(os.Stdout, args)
+		err = runCmd(ctx, os.Stdout, args)
 	case "validate":
 		err = validateCmd(os.Stdout, args)
 	case "list":
@@ -55,22 +65,24 @@ func main() {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  scenario run [-repro] [-procs N] [-out dir] [-metrics] <file|dir|dir/...>...
+  scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] <file|dir|dir/...>...
   scenario validate <file|dir|dir/...>...
   scenario list <file|dir|dir/...>...`)
 }
 
 // runOpts carries the run flags; main_test drives run() directly.
 type runOpts struct {
+	jobs    int    // scenario worker-pool bound (0 = GOMAXPROCS)
 	repro   bool   // force the run-twice byte-diff on every spec
 	procs   int    // override every spec's processor count (0 = as specified)
 	outDir  string // also write each rendering to <outDir>/<name>.txt
 	metrics bool   // print the flattened metrics after each rendering
 }
 
-func runCmd(w io.Writer, args []string) error {
+func runCmd(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
 	opts := runOpts{}
+	fs.IntVar(&opts.jobs, "j", 0, "run up to N scenarios concurrently (0 = GOMAXPROCS)")
 	fs.BoolVar(&opts.repro, "repro", false, "run every scenario twice and byte-diff the results")
 	fs.IntVar(&opts.procs, "procs", 0, "override every scenario's processor count (0 = as specified)")
 	fs.StringVar(&opts.outDir, "out", "", "also write each scenario's rendered output to <dir>/<name>.txt")
@@ -82,19 +94,22 @@ func runCmd(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	return run(w, files, opts)
+	return run(ctx, w, files, opts)
 }
 
-// run executes every spec; all scenarios run (and their outputs land
-// in -out) before the accumulated violations fail the invocation.
-func run(w io.Writer, files []string, opts runOpts) error {
+// run loads every spec, executes them all on one runner (pool + result
+// cache), and then prints the outcomes serially in input order — the
+// ordering rule that makes the output bytes independent of -j. All
+// scenarios run (and their outputs land in -out) before the
+// accumulated violations fail the invocation.
+func run(ctx context.Context, w io.Writer, files []string, opts runOpts) error {
 	if opts.outDir != "" {
 		if err := os.MkdirAll(opts.outDir, 0o755); err != nil {
 			return err
 		}
 	}
-	var violated []string
-	for _, f := range files {
+	specs := make([]*scenario.Spec, len(files))
+	for i, f := range files {
 		spec, err := scenario.Load(f)
 		if err != nil {
 			return err
@@ -105,12 +120,21 @@ func run(w io.Writer, files []string, opts runOpts) error {
 		if opts.procs > 0 {
 			overrideProcs(spec, opts.procs)
 		}
+		specs[i] = spec
+	}
+	r := runner.New(opts.jobs, cache.New(256))
+	outcomes, err := runner.Map(ctx, specs,
+		func(ctx context.Context, _ int, spec *scenario.Spec) (*scenario.Outcome, error) {
+			return scenario.RunCtx(ctx, r, spec)
+		})
+	if err != nil {
+		return err
+	}
+	var violated []string
+	for i, out := range outcomes {
+		spec := specs[i]
 		if len(files) > 1 {
-			fmt.Fprintf(w, "== %s (%s)\n\n", spec.Name, f)
-		}
-		out, err := scenario.Run(spec)
-		if err != nil {
-			return err
+			fmt.Fprintf(w, "== %s (%s)\n\n", spec.Name, files[i])
 		}
 		fmt.Fprint(w, out.Rendered)
 		if opts.metrics {

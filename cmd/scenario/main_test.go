@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"path/filepath"
 	"strings"
@@ -40,11 +41,39 @@ func TestGoldenScenarios(t *testing.T) {
 			var buf bytes.Buffer
 			// A single operand prints the rendering alone — stdout is the
 			// golden bytes, no header.
-			if err := run(&buf, []string{tc.spec}, runOpts{}); err != nil {
+			if err := run(context.Background(), &buf, []string{tc.spec}, runOpts{}); err != nil {
 				t.Fatal(err)
 			}
 			golden.Check(t, buf.Bytes(), tc.fixture, *update)
 		})
+	}
+}
+
+// TestParallelMatchesSerial runs the entire shipped CI scenario set
+// serially (-j 1) and on a wide pool (-j 4) and requires byte-identical
+// stdout and byte-identical metrics — the runner's in-order reassembly
+// rule, checked end to end across every shipped scenario.
+func TestParallelMatchesSerial(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("full-set render skipped under -race (see internal/raceflag)")
+	}
+	if testing.Short() {
+		t.Skip("runs the full CI scenario set twice")
+	}
+	files, err := expand([]string{"../../scenarios"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial, parallel bytes.Buffer
+	if err := run(context.Background(), &serial, files, runOpts{jobs: 1, metrics: true}); err != nil {
+		t.Fatalf("-j 1: %v", err)
+	}
+	if err := run(context.Background(), &parallel, files, runOpts{jobs: 4, metrics: true}); err != nil {
+		t.Fatalf("-j 4: %v", err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("-j 4 output differs from -j 1:\n--- j1 ---\n%s\n--- j4 ---\n%s",
+			serial.String(), parallel.String())
 	}
 }
 
@@ -54,7 +83,7 @@ func TestGoldenScenarios(t *testing.T) {
 // return an error (main exits non-zero on it).
 func TestRunFailsOnViolation(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, []string{"../../internal/scenario/testdata/failing.yaml"}, runOpts{})
+	err := run(context.Background(), &buf, []string{"../../internal/scenario/testdata/failing.yaml"}, runOpts{})
 	if err == nil {
 		t.Fatal("run succeeded on the failing fixture")
 	}

@@ -12,26 +12,35 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/runner"
 )
 
 // params names one full table1 rendering; the CI-size instance is
-// golden-diffed in main_test.go. The rendering itself lives in
-// bench.RenderTable1 so the scenario engine produces identical bytes.
+// golden-diffed in main_test.go. The run executes through the shared
+// runner (pool + result cache) and renders via bench.PresentTable1, so
+// the scenario engine produces identical bytes.
 type params struct {
 	n, procs, steps int
 	detail          bool
 }
 
-func run(w io.Writer, p params) error {
-	_, err := bench.RenderTable1(w, bench.Table1Params{
-		N: p.n, Procs: p.procs, Steps: p.steps, Detail: p.detail})
-	return err
+func run(ctx context.Context, w io.Writer, p params) error {
+	bp := bench.Table1Params{N: p.n, Procs: p.procs, Steps: p.steps, Detail: p.detail}
+	res, err := runner.Default().Do(ctx, bench.Table1Request(bp))
+	if err != nil {
+		return err
+	}
+	bench.PresentTable1(w, bp, res)
+	return nil
 }
 
 func main() {
@@ -41,7 +50,9 @@ func main() {
 	detail := flag.Bool("detail", false, "print per-row details (inspector/scan seconds, per-category traffic)")
 	flag.Parse()
 
-	if err := run(os.Stdout, params{n: *n, procs: *procs, steps: *steps, detail: *detail}); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, params{n: *n, procs: *procs, steps: *steps, detail: *detail}); err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestGolden(t *testing.T) {
 		t.Skip("golden render skipped under -race (see internal/raceflag)")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, ciParams); err != nil {
+	if err := run(context.Background(), &buf, ciParams); err != nil {
 		t.Fatal(err)
 	}
 	golden.Check(t, buf.Bytes(), "testdata/table1.golden", *update)

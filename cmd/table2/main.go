@@ -12,26 +12,36 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/runner"
 )
 
 // params names one full table2 rendering; the CI-size instance is
-// golden-diffed in main_test.go. The rendering itself lives in
-// bench.RenderTable2 so the scenario engine produces identical bytes.
+// golden-diffed in main_test.go. The run executes through the shared
+// runner (pool + result cache) and renders via bench.PresentTable2, so
+// the scenario engine produces identical bytes.
 type params struct {
 	scale, procs, steps, partners int
 	detail                        bool
 }
 
-func run(w io.Writer, p params) error {
-	_, err := bench.RenderTable2(w, bench.Table2Params{
-		Scale: p.scale, Procs: p.procs, Steps: p.steps, Partners: p.partners, Detail: p.detail})
-	return err
+func run(ctx context.Context, w io.Writer, p params) error {
+	bp := bench.Table2Params{
+		Scale: p.scale, Procs: p.procs, Steps: p.steps, Partners: p.partners, Detail: p.detail}
+	res, err := runner.Default().Do(ctx, bench.Table2Request(bp))
+	if err != nil {
+		return err
+	}
+	bench.PresentTable2(w, bp, res)
+	return nil
 }
 
 func main() {
@@ -42,7 +52,9 @@ func main() {
 	detail := flag.Bool("detail", false, "print per-row details")
 	flag.Parse()
 
-	if err := run(os.Stdout, params{scale: *scale, procs: *procs, steps: *steps,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, params{scale: *scale, procs: *procs, steps: *steps,
 		partners: *partners, detail: *detail}); err != nil {
 		fmt.Fprintln(os.Stderr, "table2:", err)
 		os.Exit(1)

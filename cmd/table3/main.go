@@ -11,31 +11,41 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/apps"
 	"repro/internal/bench"
+	"repro/internal/runner"
 )
 
 // params names one full table3 rendering; the CI-size instance is
 // golden-diffed in main_test.go. The spmv rows run at n and n/2; the
 // unstruct rows at n/2 and n/4 (a mesh node carries more state and
 // edges than a matrix row, so the half sizes keep the two groups
-// comparable in cost). The rendering itself lives in bench.RenderTable3
-// so the scenario engine produces identical bytes.
+// comparable in cost). The run executes through the shared runner
+// (pool + result cache) and renders via bench.PresentTable3, so the
+// scenario engine produces identical bytes.
 type params struct {
 	n, nnz, procs, steps int
 	detail               bool
 }
 
-func run(w io.Writer, p params) error {
-	_, err := bench.RenderTable3(w, bench.Table3Params{
-		N: p.n, NNZ: p.nnz, Procs: p.procs, Steps: p.steps, Detail: p.detail})
-	return err
+func run(ctx context.Context, w io.Writer, p params) error {
+	bp := bench.Table3Params{
+		N: p.n, NNZ: p.nnz, Procs: p.procs, Steps: p.steps, Detail: p.detail}
+	res, err := runner.Default().Do(ctx, bench.Table3Request(bp))
+	if err != nil {
+		return err
+	}
+	bench.PresentTable3(w, bp, res)
+	return nil
 }
 
 func main() {
@@ -51,7 +61,9 @@ func main() {
 		fmt.Println(strings.Join(apps.Names(), "\n"))
 		return
 	}
-	if err := run(os.Stdout, params{n: *n, nnz: *nnz, procs: *procs, steps: *steps,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, params{n: *n, nnz: *nnz, procs: *procs, steps: *steps,
 		detail: *detail}); err != nil {
 		fmt.Fprintln(os.Stderr, "table3:", err)
 		os.Exit(1)

@@ -14,28 +14,38 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/runner"
 )
 
 // params names one full table4 rendering; the CI-size instance is
-// golden-diffed in main_test.go. The rendering itself lives in
-// bench.RenderTable4 so the scenario engine produces identical bytes.
+// golden-diffed in main_test.go. The run executes through the shared
+// runner (pool + result cache) and renders via bench.PresentTable4, so
+// the scenario engine produces identical bytes.
 type params struct {
 	cities, items, procs    int
 	depth, batch, itemBatch int
 	detail                  bool
 }
 
-func run(w io.Writer, p params) error {
-	_, err := bench.RenderTable4(w, bench.Table4Params{
+func run(ctx context.Context, w io.Writer, p params) error {
+	bp := bench.Table4Params{
 		Cities: p.cities, Items: p.items, Procs: p.procs,
-		Depth: p.depth, Batch: p.batch, ItemBatch: p.itemBatch, Detail: p.detail})
-	return err
+		Depth: p.depth, Batch: p.batch, ItemBatch: p.itemBatch, Detail: p.detail}
+	res, err := runner.Default().Do(ctx, bench.Table4Request(bp))
+	if err != nil {
+		return err
+	}
+	bench.PresentTable4(w, bp, res)
+	return nil
 }
 
 func main() {
@@ -48,7 +58,9 @@ func main() {
 	detail := flag.Bool("detail", false, "print per-row details")
 	flag.Parse()
 
-	if err := run(os.Stdout, params{cities: *cities, items: *items, procs: *procs,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, params{cities: *cities, items: *items, procs: *procs,
 		depth: *depth, batch: *batch, itemBatch: *itemBatch, detail: *detail}); err != nil {
 		fmt.Fprintln(os.Stderr, "table4:", err)
 		os.Exit(1)

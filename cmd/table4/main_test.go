@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func TestGolden(t *testing.T) {
 		t.Skip("golden render skipped under -race (see internal/raceflag)")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, ciParams); err != nil {
+	if err := run(context.Background(), &buf, ciParams); err != nil {
 		t.Fatal(err)
 	}
 	golden.Check(t, buf.Bytes(), "testdata/table4.golden", *update)
@@ -35,7 +36,7 @@ func TestLockColumnsNonZero(t *testing.T) {
 		t.Skip("golden render skipped under -race (see internal/raceflag)")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, ciParams); err != nil {
+	if err := run(context.Background(), &buf, ciParams); err != nil {
 		t.Fatal(err)
 	}
 	tmkRows := 0

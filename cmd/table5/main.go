@@ -13,29 +13,39 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/runner"
 )
 
 // params names one full table5 rendering; the CI-size instance is
-// golden-diffed in main_test.go. The rendering itself lives in
-// bench.RenderTable5 so the scenario engine produces identical bytes.
+// golden-diffed in main_test.go. The run executes through the shared
+// runner (pool + result cache) and renders via bench.PresentTable5, so
+// the scenario engine produces identical bytes.
 type params struct {
 	procs, budgetKB      int
 	moldynN, nbfN, spmvN int
 	moldynSteps, steps   int
 }
 
-func run(w io.Writer, p params) error {
-	_, err := bench.RenderTable5(w, bench.Table5Params{
+func run(ctx context.Context, w io.Writer, p params) error {
+	bp := bench.Table5Params{
 		Procs: p.procs, BudgetKB: p.budgetKB,
 		MoldynN: p.moldynN, NbfN: p.nbfN, SpmvN: p.spmvN,
-		MoldynSteps: p.moldynSteps, Steps: p.steps})
-	return err
+		MoldynSteps: p.moldynSteps, Steps: p.steps}
+	res, err := runner.Default().Do(ctx, bench.Table5Request(bp))
+	if err != nil {
+		return err
+	}
+	bench.PresentTable5(w, bp, res)
+	return nil
 }
 
 func main() {
@@ -48,7 +58,9 @@ func main() {
 	steps := flag.Int("steps", 4, "nbf/spmv timed steps")
 	flag.Parse()
 
-	if err := run(os.Stdout, params{procs: *procs, budgetKB: *budget,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, params{procs: *procs, budgetKB: *budget,
 		moldynN: *moldynN, nbfN: *nbfN, spmvN: *spmvN,
 		moldynSteps: *moldynSteps, steps: *steps}); err != nil {
 		fmt.Fprintln(os.Stderr, "table5:", err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func TestGolden(t *testing.T) {
 		t.Skip("golden render skipped under -race (see internal/raceflag)")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, ciParams); err != nil {
+	if err := run(context.Background(), &buf, ciParams); err != nil {
 		t.Fatal(err)
 	}
 	golden.Check(t, buf.Bytes(), "testdata/table5.golden", *update)
@@ -38,7 +39,7 @@ func TestPolicySelectsAllThreeOrganizations(t *testing.T) {
 		t.Skip("golden render skipped under -race (see internal/raceflag)")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, ciParams); err != nil {
+	if err := run(context.Background(), &buf, ciParams); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

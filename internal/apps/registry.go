@@ -7,6 +7,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -211,11 +212,28 @@ func (v *VariantSet) All() []*Result {
 // backends against the sequential reference bit-exactly, and fills the
 // speedup column.
 func RunAll(w Workload) (*VariantSet, error) {
-	vs := &VariantSet{
-		Seq:   w.Sequential(),
-		Chaos: w.Chaos(),
-		Base:  w.TmkBase(),
-		Opt:   w.TmkOpt(),
+	return RunAllCtx(context.Background(), w)
+}
+
+// RunAllCtx is RunAll observing a context: cancellation is checked
+// before each backend execution — the phase boundaries of one
+// configuration — so an aborted run stops between simulated cluster
+// episodes, never mid-episode, and returns no partial VariantSet.
+func RunAllCtx(ctx context.Context, w Workload) (*VariantSet, error) {
+	vs := &VariantSet{}
+	for _, b := range []struct {
+		run  func() *Result
+		slot **Result
+	}{
+		{w.Sequential, &vs.Seq},
+		{w.Chaos, &vs.Chaos},
+		{w.TmkBase, &vs.Base},
+		{w.TmkOpt, &vs.Opt},
+	} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		*b.slot = b.run()
 	}
 	for _, r := range vs.Parallel() {
 		if err := VerifyEqual(vs.Seq, r); err != nil {

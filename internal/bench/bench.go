@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -100,11 +101,18 @@ type AppResults struct {
 // RunApp builds the named registered application's workload from cfg,
 // executes all four backends, and verifies bit-exact agreement.
 func RunApp(name string, cfg apps.Config, label string) (*AppResults, error) {
+	return RunAppCtx(context.Background(), name, cfg, label)
+}
+
+// RunAppCtx is RunApp observing a context: cancellation is checked
+// before each of the four backend executions (apps.RunAllCtx), so an
+// aborted run never returns a partially-verified result.
+func RunAppCtx(ctx context.Context, name string, cfg apps.Config, label string) (*AppResults, error) {
 	w, err := apps.New(name, cfg)
 	if err != nil {
 		return nil, err
 	}
-	vs, err := apps.RunAll(w)
+	vs, err := apps.RunAllCtx(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -155,17 +163,22 @@ type RowSpec struct {
 // (Tables 1 and 2 fold it into the configuration label; Table 3 prints
 // it).
 func AppTable(title, app string, specs []RowSpec, withSeq bool) (*Table, []*AppResults, error) {
+	all, err := runItems(context.Background(), itemsOf(app, specs))
+	if err != nil {
+		return nil, nil, err
+	}
+	return appTableView(title, all, withSeq), all, nil
+}
+
+// appTableView assembles a table from already-run results — the pure
+// view half of AppTable, shared with the Present* functions so cached
+// results render identically to cold ones.
+func appTableView(title string, all []*AppResults, withSeq bool) *Table {
 	t := &Table{Title: title}
-	var all []*AppResults
-	for _, s := range specs {
-		res, err := RunApp(app, s.Cfg, s.Label)
-		if err != nil {
-			return nil, nil, err
-		}
-		all = append(all, res)
+	for _, res := range all {
 		t.Rows = append(t.Rows, rowsOf(res, withSeq)...)
 	}
-	return t, all, nil
+	return t
 }
 
 // rowsOf converts one configuration's results into table rows in the
@@ -205,14 +218,7 @@ func Table1(cfg apps.Config, updates []int) (*Table, []*AppResults, error) {
 	t := fmt.Sprintf(
 		"Table 1: Moldyn - %d processor results (N=%d, %s). The interaction list is updated at varying intervals.",
 		cfg.Procs, cfg.N, fmtN(cfg.Steps, "steps"))
-	specs := make([]RowSpec, 0, len(updates))
-	for _, u := range updates {
-		specs = append(specs, RowSpec{
-			Label: fmt.Sprintf("Every %d iterations", u),
-			Cfg:   cfg.WithKnob("update_every", u),
-		})
-	}
-	return AppTable(t, "moldyn", specs, false)
+	return AppTable(t, "moldyn", table1Specs(cfg, updates), false)
 }
 
 // Table2 reproduces the paper's Table 2: the nbf kernel across problem
@@ -313,28 +319,25 @@ func lockRowsOf(res *AppResults) []LockRow {
 // tspCfg/taskqCfg carry the per-app knobs; the sizes name the row
 // groups (cities for tsp, items for taskq).
 func Table4(tspCfg, taskqCfg apps.Config, tspSizes, taskqSizes []Size) (*LockTable, []*AppResults, error) {
-	t := &LockTable{Title: fmt.Sprintf(
+	items := append(itemsOf("tsp", sizeSpecs(tspCfg, tspSizes)),
+		itemsOf("taskq", sizeSpecs(taskqCfg, taskqSizes))...)
+	all, err := runItems(context.Background(), items)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lockTableView(fmt.Sprintf(
 		"Table 4: Lock-based workloads - %d processor results (branch-and-bound TSP; migratory task queue).",
-		tspCfg.Procs)}
-	var all []*AppResults
-	add := func(app string, cfg apps.Config, sizes []Size) error {
-		for _, s := range sizeSpecs(cfg, sizes) {
-			res, err := RunApp(app, s.Cfg, s.Label)
-			if err != nil {
-				return err
-			}
-			all = append(all, res)
-			t.Rows = append(t.Rows, lockRowsOf(res)...)
-		}
-		return nil
+		tspCfg.Procs), all), all, nil
+}
+
+// lockTableView assembles the lock table from already-run results —
+// the pure view half of Table4, shared with PresentTable4.
+func lockTableView(title string, all []*AppResults) *LockTable {
+	t := &LockTable{Title: title}
+	for _, res := range all {
+		t.Rows = append(t.Rows, lockRowsOf(res)...)
 	}
-	if err := add("tsp", tspCfg, tspSizes); err != nil {
-		return nil, nil, err
-	}
-	if err := add("taskq", taskqCfg, taskqSizes); err != nil {
-		return nil, nil, err
-	}
-	return t, all, nil
+	return t
 }
 
 func sizeSpecs(cfg apps.Config, sizes []Size) []RowSpec {

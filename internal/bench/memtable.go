@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -114,24 +115,33 @@ func Table5(specs []MemSpec, budgetKB, procs int) (*MemTable, []*AppResults, err
 	if budgetKB > 0 {
 		budget = fmt.Sprintf("table budget %d KB/proc, organization policy-selected", budgetKB)
 	}
-	t := &MemTable{Title: fmt.Sprintf(
+	title := fmt.Sprintf(
 		"Table 5: Simulated per-processor memory footprint - %d processor results (%s).",
-		procs, budget)}
-	var all []*AppResults
+		procs, budget)
+	items := make([]runItem, 0, len(specs))
 	for _, s := range specs {
 		cfg := s.Cfg
 		cfg.Procs = procs
 		if budgetKB > 0 {
 			cfg = cfg.WithKnob("table_budget_kb", budgetKB)
 		}
-		res, err := RunApp(s.App, cfg, s.Label)
-		if err != nil {
-			return nil, nil, err
-		}
-		all = append(all, res)
+		items = append(items, runItem{App: s.App, Label: s.Label, Cfg: cfg})
+	}
+	all, err := runItems(context.Background(), items)
+	if err != nil {
+		return nil, nil, err
+	}
+	return memTableView(title, all), all, nil
+}
+
+// memTableView assembles the memory table from already-run results —
+// the pure view half of Table5, shared with PresentTable5.
+func memTableView(title string, all []*AppResults) *MemTable {
+	t := &MemTable{Title: title}
+	for _, res := range all {
 		t.Rows = append(t.Rows, memRowsOf(res)...)
 	}
-	return t, all, nil
+	return t
 }
 
 // ---- The moldyn anecdote ----------------------------------------------

@@ -1,48 +1,46 @@
-// The table renderers: the full text of each experiment command
-// (cmd/table1..5, cmd/ablate -sweep=memory) as structured-result
-// functions over an io.Writer. The commands are thin flag wrappers and
-// the scenario engine (internal/scenario) calls the same functions, so
-// a scenario file reproduces a bespoke program's output byte for byte —
-// the golden fixtures under cmd/*/testdata are the shared contract.
-// Each renderer returns the verified per-configuration results so
-// callers can assert bands on the numbers instead of grepping the text.
+// The presentation layer: pure functions from a structured RunResult
+// (run.go) to the exact text of each experiment command (cmd/table1..5,
+// cmd/ablate -sweep=memory). Present* functions simulate nothing —
+// they format numbers an earlier Run produced, so a cached result
+// renders byte-for-byte the same as a cold one and the golden fixtures
+// under cmd/*/testdata remain the shared contract across commands, the
+// scenario engine, and the runner. The Render* wrappers keep the old
+// one-call run-and-print convenience for direct callers.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
-	"repro/internal/apps"
-	"repro/internal/apps/moldyn"
-	"repro/internal/apps/spmv"
-	"repro/internal/chaos"
 	"repro/internal/mem"
 )
 
 // Table1Params names one full table1 rendering (cmd/table1 flags).
+// Detail is presentation-only: it selects extra output, not extra
+// simulation, and is absent from the canonical request.
 type Table1Params struct {
 	N, Procs, Steps int
 	Detail          bool
 }
 
-// RenderTable1 runs and prints Table 1: moldyn with the interaction
-// list updated every 20, 15, and 11 steps.
-func RenderTable1(w io.Writer, p Table1Params) ([]*AppResults, error) {
-	cfg := apps.Config{N: p.N, Procs: p.Procs, Steps: p.Steps}
-	tbl, all, err := Table1(cfg, []int{20, 15, 11})
-	if err != nil {
-		return nil, err
-	}
+// PresentTable1 formats Table 1 from a table1 RunResult: the table,
+// the verification line, optional per-row details, and the in-text
+// claims (§5.1).
+func PresentTable1(w io.Writer, p Table1Params, res *RunResult) {
+	cfg := fmt.Sprintf(
+		"Table 1: Moldyn - %d processor results (N=%d, %s). The interaction list is updated at varying intervals.",
+		p.Procs, p.N, fmtN(p.Steps, "steps"))
+	tbl := appTableView(cfg, res.Apps, false)
 	fmt.Fprint(w, tbl.String())
 	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
 	if p.Detail {
 		fmt.Fprintln(w)
 		fmt.Fprint(w, tbl.DetailString())
 	}
-	// The in-text claims (§5.1).
 	fmt.Fprintln(w)
-	for _, r := range all {
+	for _, r := range res.Apps {
 		fmt.Fprintf(w, "%-36s inspector %.2f s/proc, Validate scan %.2f s, opt vs CHAOS %+.0f%%, opt vs base %+.0f%%\n",
 			r.Config,
 			r.Chaos.Detail["inspector_s"],
@@ -50,7 +48,17 @@ func RenderTable1(w io.Writer, p Table1Params) ([]*AppResults, error) {
 			100*(r.Chaos.TimeSec-r.Opt.TimeSec)/r.Chaos.TimeSec,
 			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
 	}
-	return all, nil
+}
+
+// RenderTable1 runs and prints Table 1: moldyn with the interaction
+// list updated every 20, 15, and 11 steps.
+func RenderTable1(w io.Writer, p Table1Params) ([]*AppResults, error) {
+	res, err := Run(context.Background(), Table1Request(p))
+	if err != nil {
+		return nil, err
+	}
+	PresentTable1(w, p, res)
+	return res.Apps, nil
 }
 
 // Table2Params names one full table2 rendering (cmd/table2 flags).
@@ -59,19 +67,12 @@ type Table2Params struct {
 	Detail                        bool
 }
 
-// RenderTable2 runs and prints Table 2: the nbf kernel at three problem
-// sizes including the false-sharing-inducing misaligned one.
-func RenderTable2(w io.Writer, p Table2Params) ([]*AppResults, error) {
-	cfg := apps.Config{Procs: p.Procs, Steps: p.Steps}.WithKnob("partners", p.Partners)
-	sizes := []Size{
-		{Label: fmt.Sprintf("%d x 1024", p.Scale), N: p.Scale * 1024},
-		{Label: fmt.Sprintf("%d x 1000", p.Scale), N: p.Scale * 1000},
-		{Label: fmt.Sprintf("%d x 1024", p.Scale/2), N: p.Scale / 2 * 1024},
-	}
-	tbl, all, err := Table2(cfg, sizes)
-	if err != nil {
-		return nil, err
-	}
+// PresentTable2 formats Table 2 from a table2 RunResult.
+func PresentTable2(w io.Writer, p Table2Params, res *RunResult) {
+	title := fmt.Sprintf(
+		"Table 2: NBF Kernel - %d processor results (%s, %s).",
+		p.Procs, fmtN(p.Partners, "partners/molecule"), fmtN(p.Steps, "timed steps"))
+	tbl := appTableView(title, res.Apps, false)
 	fmt.Fprint(w, tbl.String())
 	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
 	if p.Detail {
@@ -79,7 +80,7 @@ func RenderTable2(w io.Writer, p Table2Params) ([]*AppResults, error) {
 		fmt.Fprint(w, tbl.DetailString())
 	}
 	fmt.Fprintln(w)
-	for _, r := range all {
+	for _, r := range res.Apps {
 		fmt.Fprintf(w, "%-28s inspector %.2f s/proc (untimed), Validate scan %.3f s, opt vs CHAOS %+.0f%%, opt vs base %+.0f%%\n",
 			r.Config,
 			r.Chaos.Detail["inspector_s"],
@@ -87,7 +88,17 @@ func RenderTable2(w io.Writer, p Table2Params) ([]*AppResults, error) {
 			100*(r.Chaos.TimeSec-r.Opt.TimeSec)/r.Chaos.TimeSec,
 			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
 	}
-	return all, nil
+}
+
+// RenderTable2 runs and prints Table 2: the nbf kernel at three problem
+// sizes including the false-sharing-inducing misaligned one.
+func RenderTable2(w io.Writer, p Table2Params) ([]*AppResults, error) {
+	res, err := Run(context.Background(), Table2Request(p))
+	if err != nil {
+		return nil, err
+	}
+	PresentTable2(w, p, res)
+	return res.Apps, nil
 }
 
 // Table3Params names one full table3 rendering (cmd/table3 flags).
@@ -96,22 +107,12 @@ type Table3Params struct {
 	Detail               bool
 }
 
-// RenderTable3 runs and prints Table 3: spmv at n and n/2 plus the
-// unstructured-mesh row groups at n/2 and n/4.
-func RenderTable3(w io.Writer, p Table3Params) ([]*AppResults, error) {
-	cfg := apps.Config{Procs: p.Procs, Steps: p.Steps}.WithKnob("nnz_row", p.NNZ)
-	spmvSizes := []Size{
-		{Label: fmt.Sprintf("SPMV N = %d", p.N), N: p.N},
-		{Label: fmt.Sprintf("SPMV N = %d", p.N/2), N: p.N / 2},
-	}
-	unstructSizes := []Size{
-		{Label: fmt.Sprintf("Unstruct N = %d", p.N/2), N: p.N / 2},
-		{Label: fmt.Sprintf("Unstruct N = %d", p.N/4), N: p.N / 4},
-	}
-	tbl, all, err := Table3(cfg, spmvSizes, unstructSizes)
-	if err != nil {
-		return nil, err
-	}
+// PresentTable3 formats Table 3 from a table3 RunResult.
+func PresentTable3(w io.Writer, p Table3Params, res *RunResult) {
+	title := fmt.Sprintf(
+		"Table 3: SPMV and Unstruct - %d processor results (%s, %s).",
+		p.Procs, fmtN(p.NNZ, "nonzeros/row"), fmtN(p.Steps, "timed sweeps"))
+	tbl := appTableView(title, res.Apps, true)
 	fmt.Fprint(w, tbl.String())
 	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
 	if p.Detail {
@@ -119,7 +120,7 @@ func RenderTable3(w io.Writer, p Table3Params) ([]*AppResults, error) {
 		fmt.Fprint(w, tbl.DetailString())
 	}
 	fmt.Fprintln(w)
-	for _, r := range all {
+	for _, r := range res.Apps {
 		fmt.Fprintf(w, "%-28s inspector %.3f s/proc (untimed), Validate scan %.3f s, opt vs base: %.1fx fewer messages, %.0f%% less time\n",
 			r.Config,
 			r.Chaos.Detail["inspector_s"],
@@ -127,7 +128,17 @@ func RenderTable3(w io.Writer, p Table3Params) ([]*AppResults, error) {
 			float64(r.Base.Messages)/float64(r.Opt.Messages),
 			100*(r.Base.TimeSec-r.Opt.TimeSec)/r.Base.TimeSec)
 	}
-	return all, nil
+}
+
+// RenderTable3 runs and prints Table 3: spmv at n and n/2 plus the
+// unstructured-mesh row groups at n/2 and n/4.
+func RenderTable3(w io.Writer, p Table3Params) ([]*AppResults, error) {
+	res, err := Run(context.Background(), Table3Request(p))
+	if err != nil {
+		return nil, err
+	}
+	PresentTable3(w, p, res)
+	return res.Apps, nil
 }
 
 // Table4Params names one full table4 rendering (cmd/table4 flags).
@@ -137,40 +148,30 @@ type Table4Params struct {
 	Detail                  bool
 }
 
-// RenderTable4 runs and prints Table 4: the lock-based workloads
-// (branch-and-bound TSP; migratory task queue) with the lock columns.
-func RenderTable4(w io.Writer, p Table4Params) ([]*AppResults, error) {
-	tspCfg := apps.Config{Procs: p.Procs}.
-		WithKnob("depth", p.Depth).WithKnob("batch", p.Batch)
-	taskqCfg := apps.Config{Procs: p.Procs}.WithKnob("batch", p.ItemBatch)
-	tspSizes := []Size{
-		{Label: fmt.Sprintf("TSP, %d cities", p.Cities), N: p.Cities},
-	}
-	taskqSizes := []Size{
-		{Label: fmt.Sprintf("TaskQ, %d items", p.Items), N: p.Items},
-	}
-	tbl, all, err := Table4(tspCfg, taskqCfg, tspSizes, taskqSizes)
-	if err != nil {
-		return nil, err
-	}
+// PresentTable4 formats Table 4 from a table4 RunResult: the
+// lock-workload table with its lock columns and the batching claims.
+func PresentTable4(w io.Writer, p Table4Params, res *RunResult) {
+	tbl := lockTableView(fmt.Sprintf(
+		"Table 4: Lock-based workloads - %d processor results (branch-and-bound TSP; migratory task queue).",
+		p.Procs), res.Apps)
 	fmt.Fprint(w, tbl.String())
 	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
 	if p.Detail {
 		fmt.Fprintln(w)
-		for _, r := range all {
-			for _, res := range r.All() {
-				if len(res.Detail) == 0 {
+		for _, r := range res.Apps {
+			for _, rr := range r.All() {
+				if len(rr.Detail) == 0 {
 					continue
 				}
-				fmt.Fprintf(w, "%s / %s:\n", r.Config, res.System)
-				for _, k := range sortedDetailKeys(res.Detail) {
-					fmt.Fprintf(w, "    %-24s %12.4f\n", k, res.Detail[k])
+				fmt.Fprintf(w, "%s / %s:\n", r.Config, rr.System)
+				for _, k := range sortedDetailKeys(rr.Detail) {
+					fmt.Fprintf(w, "    %-24s %12.4f\n", k, rr.Detail[k])
 				}
 			}
 		}
 	}
 	fmt.Fprintln(w)
-	for _, r := range all {
+	for _, r := range res.Apps {
 		base, opt := r.Base.LockTotal(), r.Opt.LockTotal()
 		// All grants are idle on an uncontended (e.g. 1-processor)
 		// cluster; there is no wait to compare then.
@@ -185,7 +186,17 @@ func RenderTable4(w io.Writer, p Table4Params) ([]*AppResults, error) {
 			waitClause,
 			float64(r.Base.Messages)/float64(r.Opt.Messages))
 	}
-	return all, nil
+}
+
+// RenderTable4 runs and prints Table 4: the lock-based workloads
+// (branch-and-bound TSP; migratory task queue) with the lock columns.
+func RenderTable4(w io.Writer, p Table4Params) ([]*AppResults, error) {
+	res, err := Run(context.Background(), Table4Request(p))
+	if err != nil {
+		return nil, err
+	}
+	PresentTable4(w, p, res)
+	return res.Apps, nil
 }
 
 func sortedDetailKeys(m map[string]float64) []string {
@@ -204,37 +215,86 @@ type Table5Params struct {
 	MoldynSteps, Steps   int
 }
 
-// RenderTable5 runs and prints Table 5: per-processor footprint
-// high-water marks and the policy-selected translation-table column.
-func RenderTable5(w io.Writer, p Table5Params) ([]*AppResults, error) {
-	specs := []MemSpec{
-		{App: "moldyn", Label: fmt.Sprintf("moldyn, %d mol", p.MoldynN),
-			Cfg: apps.Config{N: p.MoldynN, Steps: p.MoldynSteps}},
-		{App: "nbf", Label: fmt.Sprintf("nbf, %d mol", p.NbfN),
-			Cfg: apps.Config{N: p.NbfN, Steps: p.Steps}.WithKnob("partners", 40)},
-		// far_per_row 0: the pure-banded matrix whose localized working
-		// set is what the paged organization exists for.
-		{App: "spmv", Label: fmt.Sprintf("spmv, %d rows", p.SpmvN),
-			Cfg: apps.Config{N: p.SpmvN, Steps: p.Steps}.WithKnob("far_per_row", 0)},
-	}
-	tbl, all, err := Table5(specs, p.BudgetKB, p.Procs)
-	if err != nil {
-		return nil, err
-	}
+// PresentTable5 formats Table 5 from a table5 RunResult: per-processor
+// footprint high-water marks and the policy-selected table column.
+func PresentTable5(w io.Writer, p Table5Params, res *RunResult) {
+	tbl := memTableView(table5Title(p), res.Apps)
 	fmt.Fprint(w, tbl.String())
 	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
 	fmt.Fprintln(w)
-	for _, r := range all {
+	for _, r := range res.Apps {
 		fmt.Fprintf(w, "%-28s CHAOS table: %-18s CHAOS peak %7.1f KB/proc, Tmk opt peak %7.1f KB/proc\n",
 			r.Config, r.Chaos.TableOrg, r.Chaos.MaxPeakMB()*1e3, r.Opt.MaxPeakMB()*1e3)
 	}
-	return all, nil
+}
+
+func table5Title(p Table5Params) string {
+	budget := "no table budget (app-default organizations)"
+	if p.BudgetKB > 0 {
+		budget = fmt.Sprintf("table budget %d KB/proc, organization policy-selected", p.BudgetKB)
+	}
+	return fmt.Sprintf(
+		"Table 5: Simulated per-processor memory footprint - %d processor results (%s).",
+		p.Procs, budget)
+}
+
+// RenderTable5 runs and prints Table 5: per-processor footprint
+// high-water marks and the policy-selected translation-table column.
+func RenderTable5(w io.Writer, p Table5Params) ([]*AppResults, error) {
+	res, err := Run(context.Background(), Table5Request(p))
+	if err != nil {
+		return nil, err
+	}
+	PresentTable5(w, p, res)
+	return res.Apps, nil
 }
 
 // MemorySweepParams names one full memory-sweep rendering
 // (cmd/ablate -sweep=memory flags).
 type MemorySweepParams struct {
 	N, Procs int
+}
+
+// PresentMemorySweep formats the §9 capacity sweep from a memory
+// RunResult: both budget grids and the verified anecdote. The
+// table_budget_kb axis points (res.Mem.Budget) are metrics-only and
+// deliberately unrendered, so a budget-swept scenario still renders
+// byte-identically to cmd/ablate's golden fixture.
+func PresentMemorySweep(w io.Writer, sp MemorySweepParams, res *RunResult) {
+	n, procs := sp.N, sp.Procs
+	d := res.Mem
+	fmt.Fprintf(w, "S9: memory budget vs translation-table organization (%d procs)\n\n", procs)
+
+	fmt.Fprintf(w, "moldyn N=%d (whole-table working set)\n", n)
+	fmt.Fprintf(w, "%14s%16s%14s%14s%14s\n", "budget (KB)", "plan", "ttable msgs", "ttable (MB)", "peak/proc KB")
+	for _, row := range d.Moldyn {
+		fmt.Fprintf(w, "%14d%16s%14d%14.2f%14.1f\n",
+			row.BudgetKB, row.Plan, row.TtableMsgs, row.TtableMB, row.PeakKB)
+	}
+
+	// spmv's inspector runs once, before the timed window, so the
+	// columns here are storage, not traffic: the charged table bytes
+	// track the budget as the cache bound shrinks.
+	fmt.Fprintf(w, "\nspmv N=%d, banded (localized working set)\n", 4*n)
+	fmt.Fprintf(w, "%14s%16s%14s%14s\n", "budget (KB)", "plan", "table KB/proc", "peak/proc KB")
+	for _, row := range d.Spmv {
+		fmt.Fprintf(w, "%14d%16s%14.1f%14.1f\n",
+			row.BudgetKB, row.Plan, row.TableKB, row.PeakKB)
+	}
+	fmt.Fprintln(w, "\nShrinking the budget forces replicated -> (paged, if the working set")
+	fmt.Fprintln(w, "fits) -> distributed; a cache below the working set would thrash, so")
+	fmt.Fprintln(w, "the policy degrades straight to the segment-only table.")
+
+	rep := d.Anecdote
+	p := MoldynAnecdoteParams()
+	fmt.Fprintf(w, "\nThe moldyn anecdote (asserted, run twice, bit-identical):\n")
+	fmt.Fprintf(w, "  N=%d, %d procs, %d steps, list updated every %d; table budget %d KB/proc\n",
+		p.N, p.Procs, p.Steps, p.UpdateEvery, mem.PaperTableBudget>>10)
+	fmt.Fprintf(w, "  policy: replicated table (%d KB) rejected -> %s\n",
+		mem.ReplicatedBytes(p.N)>>10, rep.Plan)
+	fmt.Fprintf(w, "  inspector translation traffic: %.1f MB in %d messages (paper: 85 MB in 878)\n",
+		float64(rep.TtableBytes)/1e6, rep.TtableMsgs)
+	fmt.Fprintf(w, "  peak footprint %.1f KB/proc, simulated time %.1f s\n", rep.PeakKB, rep.TimeSec)
 }
 
 // RenderMemorySweep runs and prints the §9 capacity sweep: the
@@ -246,69 +306,13 @@ type MemorySweepParams struct {
 // land in the 85 MB / 878-message regime, bit-identically. The verified
 // anecdote report is returned for band assertions.
 func RenderMemorySweep(w io.Writer, sp MemorySweepParams) (*AnecdoteReport, error) {
-	n, procs := sp.N, sp.Procs
-	fmt.Fprintf(w, "S9: memory budget vs translation-table organization (%d procs)\n\n", procs)
-
-	fmt.Fprintf(w, "moldyn N=%d (whole-table working set)\n", n)
-	fmt.Fprintf(w, "%14s%16s%14s%14s%14s\n", "budget (KB)", "plan", "ttable msgs", "ttable (MB)", "peak/proc KB")
-	moldynWork := mem.TablePages(n)
-	for _, budget := range memBudgets(n, procs, moldynWork) {
-		plan := mem.PlanTable(budget, n, procs, moldynWork)
-		p := moldyn.DefaultParams(n, procs)
-		p.TableKind = plan.Kind
-		p.TableCachePages = plan.CachePages
-		r := moldyn.RunChaos(moldyn.Generate(p))
-		fmt.Fprintf(w, "%14d%16s%14d%14.2f%14.1f\n",
-			budget>>10, plan, int64(r.Detail["msgs.chaos.ttable"]),
-			r.Detail["mb.chaos.ttable"], r.MaxPeakMB()*1e3)
-	}
-
-	// spmv's inspector runs once, before the timed window, so the
-	// columns here are storage, not traffic: the charged table bytes
-	// track the budget as the cache bound shrinks.
-	sn := 4 * n
-	fmt.Fprintf(w, "\nspmv N=%d, banded (localized working set)\n", sn)
-	fmt.Fprintf(w, "%14s%16s%14s%14s\n", "budget (KB)", "plan", "table KB/proc", "peak/proc KB")
-	spp := spmv.DefaultParams(sn, procs)
-	spp.FarPerRow = 0
-	spmvWork := spp.WorkTablePages()
-	for _, budget := range memBudgets(sn, procs, spmvWork) {
-		plan := mem.PlanTable(budget, sn, procs, spmvWork)
-		p := spp
-		p.TableKind = plan.Kind
-		p.TableCachePages = plan.CachePages
-		r := spmv.RunChaos(spmv.Generate(p))
-		fmt.Fprintf(w, "%14d%16s%14.1f%14.1f\n",
-			budget>>10, plan, float64(r.MemCat(chaos.MemCatTable).PeakBytes)/1e3,
-			r.MaxPeakMB()*1e3)
-	}
-	fmt.Fprintln(w, "\nShrinking the budget forces replicated -> (paged, if the working set")
-	fmt.Fprintln(w, "fits) -> distributed; a cache below the working set would thrash, so")
-	fmt.Fprintln(w, "the policy degrades straight to the segment-only table.")
-
-	// The anecdote, run twice: the assertion and the bit-identity are
-	// both part of the sweep's contract.
-	rep, err := RunMemAnecdote()
+	res, err := Run(context.Background(), MemoryRequest(sp, nil))
 	if err != nil {
 		return nil, err
 	}
-	rep2, err := RunMemAnecdote()
-	if err != nil {
-		return nil, err
-	}
-	if *rep != *rep2 {
-		return nil, fmt.Errorf("anecdote not byte-identical across runs: %+v vs %+v", rep, rep2)
-	}
-	p := MoldynAnecdoteParams()
-	fmt.Fprintf(w, "\nThe moldyn anecdote (asserted, run twice, bit-identical):\n")
-	fmt.Fprintf(w, "  N=%d, %d procs, %d steps, list updated every %d; table budget %d KB/proc\n",
-		p.N, p.Procs, p.Steps, p.UpdateEvery, mem.PaperTableBudget>>10)
-	fmt.Fprintf(w, "  policy: replicated table (%d KB) rejected -> %s\n",
-		mem.ReplicatedBytes(p.N)>>10, rep.Plan)
-	fmt.Fprintf(w, "  inspector translation traffic: %.1f MB in %d messages (paper: 85 MB in 878)\n",
-		float64(rep.TtableBytes)/1e6, rep.TtableMsgs)
-	fmt.Fprintf(w, "  peak footprint %.1f KB/proc, simulated time %.1f s\n", rep.PeakKB, rep.TimeSec)
-	return rep, nil
+	PresentMemorySweep(w, sp, res)
+	rep := res.Mem.Anecdote
+	return &rep, nil
 }
 
 // memBudgets returns table budgets spanning the organization crossover

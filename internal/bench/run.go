@@ -1,0 +1,599 @@
+// The run layer (DESIGN.md §12): every experiment the repo knows —
+// the five paper tables, the §9 memory sweep, and the generic
+// registered-application grid — executes through one canonical entry
+// point, Run(ctx, RunRequest), returning a structured RunResult with
+// no io.Writer in sight. Rendering is a separate, pure pass over the
+// result (render.go), so the same numbers can be printed, asserted,
+// cached, or served without re-simulating.
+//
+// A RunRequest has a canonical byte encoding (Canonical) and a
+// SHA-256 content address (Key). Because every simulated number is a
+// pure function of its configuration (§7/§10 determinism), two
+// requests with equal keys have bit-identical results — the cache
+// coherence argument internal/cache and internal/runner build on.
+// Presentation-only choices (the Detail flag, variant row filters)
+// are deliberately absent from the request so they cannot fragment
+// the cache.
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/apps/moldyn"
+	"repro/internal/apps/spmv"
+	"repro/internal/cache"
+	"repro/internal/chaos"
+	"repro/internal/mem"
+)
+
+// RequestVersion is the canonical-encoding schema version; it moves
+// only with a breaking change to the encoding (the scenario spec's
+// "version:" key maps onto it).
+const RequestVersion = 1
+
+// SweepAxis names one swept axis of an app-experiment request; the
+// run grid is the cross product of the values and the procs list.
+type SweepAxis struct {
+	Axis   string
+	Values []int
+}
+
+// RunRequest canonically encodes one experiment execution: which
+// experiment, at what sizes, on how many simulated processors, with
+// which knobs and machine overrides. Build requests with the
+// TableNRequest/MemoryRequest helpers (or the scenario engine's
+// Spec.Request) so Params is fully resolved — the encoding hashes
+// exactly what is in the struct, and a default left implicit would
+// alias two different runs under one key.
+type RunRequest struct {
+	// Version is the encoding schema version; 0 is normalized to
+	// RequestVersion.
+	Version int
+	// Experiment is table1..table5, memory, or app.
+	Experiment string
+	// Params carries the canned experiments' fully-resolved
+	// parameters (the corresponding command's flags).
+	Params map[string]int
+
+	// The app-experiment fields (mirroring scenario.Spec).
+	App     string
+	N       int
+	Steps   int
+	Seed    int64
+	Procs   []int
+	Knobs   map[string]int
+	Machine apps.Machine
+	Sweep   *SweepAxis
+
+	// BudgetSweepKB extends the memory experiment with the
+	// table_budget_kb axis: the anecdote configuration re-planned and
+	// re-run at each per-processor budget (metrics only; the rendered
+	// sweep text is unchanged).
+	BudgetSweepKB []int
+}
+
+// Canonical returns the request's canonical byte encoding: a
+// versioned header and every field in a fixed order with sorted map
+// keys, so two structurally-equal requests encode identically no
+// matter how they were built.
+func (r RunRequest) Canonical() []byte {
+	var b bytes.Buffer
+	v := r.Version
+	if v == 0 {
+		v = RequestVersion
+	}
+	fmt.Fprintf(&b, "runrequest/v%d\n", v)
+	fmt.Fprintf(&b, "experiment=%s\n", r.Experiment)
+	for _, k := range sortedIntKeys(r.Params) {
+		fmt.Fprintf(&b, "param.%s=%d\n", k, r.Params[k])
+	}
+	fmt.Fprintf(&b, "app=%s\n", r.App)
+	fmt.Fprintf(&b, "n=%d\nsteps=%d\nseed=%d\n", r.N, r.Steps, r.Seed)
+	fmt.Fprintf(&b, "procs=%s\n", intList(r.Procs))
+	for _, k := range sortedIntKeys(r.Knobs) {
+		fmt.Fprintf(&b, "knob.%s=%d\n", k, r.Knobs[k])
+	}
+	fmt.Fprintf(&b, "machine.latency_us=%d\nmachine.bandwidth_mbs=%d\n",
+		r.Machine.LatencyUS, r.Machine.BandwidthMBs)
+	if r.Sweep != nil {
+		fmt.Fprintf(&b, "sweep.axis=%s\nsweep.values=%s\n", r.Sweep.Axis, intList(r.Sweep.Values))
+	}
+	if len(r.BudgetSweepKB) > 0 {
+		fmt.Fprintf(&b, "budget_sweep_kb=%s\n", intList(r.BudgetSweepKB))
+	}
+	return b.Bytes()
+}
+
+// Key returns the request's content address: the SHA-256 of the
+// canonical encoding.
+func (r RunRequest) Key() cache.Key {
+	return cache.KeyOf(r.Canonical())
+}
+
+func intList(vs []int) string {
+	var b bytes.Buffer
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+func sortedIntKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Tiny maps; insertion sort keeps the import list honest.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RunResult holds one experiment's structured numbers: the verified
+// per-configuration backend runs, the memory experiment's grids, and
+// the flattened metrics the scenario engine asserts bands on. Results
+// are shared through the cache; treat them as immutable.
+type RunResult struct {
+	Experiment string
+	// Apps is the verified per-configuration results, in run order
+	// (every experiment but memory).
+	Apps []*AppResults
+	// Mem is the memory experiment's structured sweep data.
+	Mem *MemSweepData
+	// Metrics is the flattened metric map (bench.Metrics for the app
+	// experiments, the anecdote/budget metrics for memory).
+	Metrics map[string]float64
+}
+
+// MemBudgetRow is one budget point of the moldyn (whole-working-set)
+// grid of the memory sweep.
+type MemBudgetRow struct {
+	BudgetKB   int64
+	Plan       string
+	TtableMsgs int64
+	TtableMB   float64
+	PeakKB     float64
+}
+
+// SpmvBudgetRow is one budget point of the banded-spmv (localized
+// working set) grid: storage, not traffic — the inspector runs before
+// the timed window there.
+type SpmvBudgetRow struct {
+	BudgetKB int64
+	Plan     string
+	TableKB  float64
+	PeakKB   float64
+}
+
+// BudgetPoint is one table_budget_kb axis point: the anecdote
+// configuration re-planned under the given per-processor budget and
+// re-run. PlanKind is the chaos.TableKind ordinal (0 replicated,
+// 1 distributed, 2 paged) so plans can be asserted as metric bands.
+type BudgetPoint struct {
+	BudgetKB   int
+	PlanKind   int
+	Plan       string
+	TtableMsgs int64
+	TtableMB   float64
+	PeakKB     float64
+}
+
+// MemSweepData is the memory experiment's structured result: both
+// budget grids, the verified (run-twice, bit-identical) anecdote, and
+// the optional table_budget_kb axis points.
+type MemSweepData struct {
+	Moldyn   []MemBudgetRow
+	Spmv     []SpmvBudgetRow
+	Anecdote AnecdoteReport
+	Budget   []BudgetPoint
+}
+
+// Run executes one canonically-encoded experiment and returns its
+// structured result. The context is observed at phase boundaries:
+// between per-configuration runs and between the four backend
+// executions of each configuration (apps.RunAllCtx) — a simulated
+// cluster episode itself is never interrupted mid-flight, so a
+// canceled run leaves no partially-verified results behind.
+func Run(ctx context.Context, req RunRequest) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if req.Version != 0 && req.Version != RequestVersion {
+		return nil, fmt.Errorf("bench: unsupported request version %d (supported: %d)", req.Version, RequestVersion)
+	}
+	res := &RunResult{Experiment: req.Experiment}
+	var err error
+	switch req.Experiment {
+	case "table1":
+		res.Apps, err = runItems(ctx, table1Items(table1ParamsOf(req)))
+	case "table2":
+		res.Apps, err = runItems(ctx, table2Items(table2ParamsOf(req)))
+	case "table3":
+		res.Apps, err = runItems(ctx, table3Items(table3ParamsOf(req)))
+	case "table4":
+		res.Apps, err = runItems(ctx, table4Items(table4ParamsOf(req)))
+	case "table5":
+		res.Apps, err = runItems(ctx, table5Items(table5ParamsOf(req)))
+	case "memory":
+		res.Mem, err = runMemorySweep(ctx, memoryParamsOf(req), req.BudgetSweepKB)
+	case "app":
+		res.Apps, err = runAppGrid(ctx, req)
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q", req.Experiment)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Mem != nil {
+		res.Metrics = res.Mem.metrics()
+	} else {
+		res.Metrics = Metrics(res.Apps)
+	}
+	return res, nil
+}
+
+// runItem is one configuration of an experiment's run list.
+type runItem struct {
+	App   string
+	Label string
+	Cfg   apps.Config
+}
+
+// runItems executes each configuration in order, checking the context
+// between them.
+func runItems(ctx context.Context, items []runItem) ([]*AppResults, error) {
+	all := make([]*AppResults, 0, len(items))
+	for _, it := range items {
+		res, err := RunAppCtx(ctx, it.App, it.Cfg, it.Label)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, res)
+	}
+	return all, nil
+}
+
+// itemsOf adapts the RowSpec form the table builders use.
+func itemsOf(app string, specs []RowSpec) []runItem {
+	items := make([]runItem, 0, len(specs))
+	for _, s := range specs {
+		items = append(items, runItem{App: app, Label: s.Label, Cfg: s.Cfg})
+	}
+	return items
+}
+
+// ---- Canned-experiment run lists ---------------------------------------
+//
+// Each tableNItems function is the single place the experiment's
+// configuration grid is defined; the request builders (render.go) and
+// the compat Table1..5 wrappers (bench.go, memtable.go) both resolve
+// to these.
+
+func table1Items(p Table1Params) []runItem {
+	cfg := apps.Config{N: p.N, Procs: p.Procs, Steps: p.Steps}
+	return itemsOf("moldyn", table1Specs(cfg, []int{20, 15, 11}))
+}
+
+func table1Specs(cfg apps.Config, updates []int) []RowSpec {
+	specs := make([]RowSpec, 0, len(updates))
+	for _, u := range updates {
+		specs = append(specs, RowSpec{
+			Label: fmt.Sprintf("Every %d iterations", u),
+			Cfg:   cfg.WithKnob("update_every", u),
+		})
+	}
+	return specs
+}
+
+func table2Items(p Table2Params) []runItem {
+	cfg := apps.Config{Procs: p.Procs, Steps: p.Steps}.WithKnob("partners", p.Partners)
+	return itemsOf("nbf", sizeSpecs(cfg, table2Sizes(p)))
+}
+
+func table2Sizes(p Table2Params) []Size {
+	return []Size{
+		{Label: fmt.Sprintf("%d x 1024", p.Scale), N: p.Scale * 1024},
+		{Label: fmt.Sprintf("%d x 1000", p.Scale), N: p.Scale * 1000},
+		{Label: fmt.Sprintf("%d x 1024", p.Scale/2), N: p.Scale / 2 * 1024},
+	}
+}
+
+func table3Items(p Table3Params) []runItem {
+	cfg := apps.Config{Procs: p.Procs, Steps: p.Steps}.WithKnob("nnz_row", p.NNZ)
+	ucfg := cfg
+	ucfg.Knobs = nil
+	spmvSizes, unstructSizes := table3Sizes(p)
+	return append(itemsOf("spmv", sizeSpecs(cfg, spmvSizes)),
+		itemsOf("unstruct", sizeSpecs(ucfg, unstructSizes))...)
+}
+
+func table3Sizes(p Table3Params) (spmvSizes, unstructSizes []Size) {
+	spmvSizes = []Size{
+		{Label: fmt.Sprintf("SPMV N = %d", p.N), N: p.N},
+		{Label: fmt.Sprintf("SPMV N = %d", p.N/2), N: p.N / 2},
+	}
+	unstructSizes = []Size{
+		{Label: fmt.Sprintf("Unstruct N = %d", p.N/2), N: p.N / 2},
+		{Label: fmt.Sprintf("Unstruct N = %d", p.N/4), N: p.N / 4},
+	}
+	return spmvSizes, unstructSizes
+}
+
+func table4Items(p Table4Params) []runItem {
+	tspCfg := apps.Config{Procs: p.Procs}.
+		WithKnob("depth", p.Depth).WithKnob("batch", p.Batch)
+	taskqCfg := apps.Config{Procs: p.Procs}.WithKnob("batch", p.ItemBatch)
+	tspSizes := []Size{{Label: fmt.Sprintf("TSP, %d cities", p.Cities), N: p.Cities}}
+	taskqSizes := []Size{{Label: fmt.Sprintf("TaskQ, %d items", p.Items), N: p.Items}}
+	return append(itemsOf("tsp", sizeSpecs(tspCfg, tspSizes)),
+		itemsOf("taskq", sizeSpecs(taskqCfg, taskqSizes))...)
+}
+
+func table5Items(p Table5Params) []runItem {
+	specs := table5Specs(p)
+	items := make([]runItem, 0, len(specs))
+	for _, s := range specs {
+		cfg := s.Cfg
+		cfg.Procs = p.Procs
+		if p.BudgetKB > 0 {
+			cfg = cfg.WithKnob("table_budget_kb", p.BudgetKB)
+		}
+		items = append(items, runItem{App: s.App, Label: s.Label, Cfg: cfg})
+	}
+	return items
+}
+
+func table5Specs(p Table5Params) []MemSpec {
+	return []MemSpec{
+		{App: "moldyn", Label: fmt.Sprintf("moldyn, %d mol", p.MoldynN),
+			Cfg: apps.Config{N: p.MoldynN, Steps: p.MoldynSteps}},
+		{App: "nbf", Label: fmt.Sprintf("nbf, %d mol", p.NbfN),
+			Cfg: apps.Config{N: p.NbfN, Steps: p.Steps}.WithKnob("partners", 40)},
+		// far_per_row 0: the pure-banded matrix whose localized working
+		// set is what the paged organization exists for.
+		{App: "spmv", Label: fmt.Sprintf("spmv, %d rows", p.SpmvN),
+			Cfg: apps.Config{N: p.SpmvN, Steps: p.Steps}.WithKnob("far_per_row", 0)},
+	}
+}
+
+// ---- Params <-> request mapping ----------------------------------------
+
+func table1ParamsOf(req RunRequest) Table1Params {
+	return Table1Params{N: req.Params["n"], Procs: req.Params["procs"], Steps: req.Params["steps"]}
+}
+
+func table2ParamsOf(req RunRequest) Table2Params {
+	return Table2Params{Scale: req.Params["scale"], Procs: req.Params["procs"],
+		Steps: req.Params["steps"], Partners: req.Params["partners"]}
+}
+
+func table3ParamsOf(req RunRequest) Table3Params {
+	return Table3Params{N: req.Params["n"], NNZ: req.Params["nnz"],
+		Procs: req.Params["procs"], Steps: req.Params["steps"]}
+}
+
+func table4ParamsOf(req RunRequest) Table4Params {
+	return Table4Params{Cities: req.Params["cities"], Items: req.Params["items"],
+		Procs: req.Params["procs"], Depth: req.Params["depth"],
+		Batch: req.Params["batch"], ItemBatch: req.Params["item_batch"]}
+}
+
+func table5ParamsOf(req RunRequest) Table5Params {
+	return Table5Params{Procs: req.Params["procs"], BudgetKB: req.Params["budget_kb"],
+		MoldynN: req.Params["n"], NbfN: req.Params["nbf"], SpmvN: req.Params["spmv"],
+		MoldynSteps: req.Params["moldyn_steps"], Steps: req.Params["steps"]}
+}
+
+func memoryParamsOf(req RunRequest) MemorySweepParams {
+	return MemorySweepParams{N: req.Params["n"], Procs: req.Params["procs"]}
+}
+
+// Table1Request canonically encodes one table1 execution. (Detail is
+// presentation-only and deliberately not part of the request.)
+func Table1Request(p Table1Params) RunRequest {
+	return RunRequest{Experiment: "table1",
+		Params: map[string]int{"n": p.N, "procs": p.Procs, "steps": p.Steps}}
+}
+
+// Table2Request canonically encodes one table2 execution.
+func Table2Request(p Table2Params) RunRequest {
+	return RunRequest{Experiment: "table2",
+		Params: map[string]int{"scale": p.Scale, "procs": p.Procs, "steps": p.Steps, "partners": p.Partners}}
+}
+
+// Table3Request canonically encodes one table3 execution.
+func Table3Request(p Table3Params) RunRequest {
+	return RunRequest{Experiment: "table3",
+		Params: map[string]int{"n": p.N, "nnz": p.NNZ, "procs": p.Procs, "steps": p.Steps}}
+}
+
+// Table4Request canonically encodes one table4 execution.
+func Table4Request(p Table4Params) RunRequest {
+	return RunRequest{Experiment: "table4",
+		Params: map[string]int{"cities": p.Cities, "items": p.Items, "procs": p.Procs,
+			"depth": p.Depth, "batch": p.Batch, "item_batch": p.ItemBatch}}
+}
+
+// Table5Request canonically encodes one table5 execution.
+func Table5Request(p Table5Params) RunRequest {
+	return RunRequest{Experiment: "table5",
+		Params: map[string]int{"procs": p.Procs, "budget_kb": p.BudgetKB,
+			"n": p.MoldynN, "nbf": p.NbfN, "spmv": p.SpmvN,
+			"moldyn_steps": p.MoldynSteps, "steps": p.Steps}}
+}
+
+// MemoryRequest canonically encodes one memory-sweep execution,
+// optionally extended with the table_budget_kb axis.
+func MemoryRequest(p MemorySweepParams, budgetSweepKB []int) RunRequest {
+	return RunRequest{Experiment: "memory",
+		Params:        map[string]int{"n": p.N, "procs": p.Procs},
+		BudgetSweepKB: append([]int(nil), budgetSweepKB...)}
+}
+
+// ---- The memory experiment's run side ----------------------------------
+
+// runMemorySweep computes the §9 capacity sweep's structured data: the
+// moldyn and banded-spmv budget grids, the anecdote run twice and
+// verified bit-identical, and the optional table_budget_kb axis.
+func runMemorySweep(ctx context.Context, sp MemorySweepParams, budgetSweepKB []int) (*MemSweepData, error) {
+	n, procs := sp.N, sp.Procs
+	data := &MemSweepData{}
+
+	moldynWork := mem.TablePages(n)
+	for _, budget := range memBudgets(n, procs, moldynWork) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		plan := mem.PlanTable(budget, n, procs, moldynWork)
+		p := moldyn.DefaultParams(n, procs)
+		p.TableKind = plan.Kind
+		p.TableCachePages = plan.CachePages
+		r := moldyn.RunChaos(moldyn.Generate(p))
+		data.Moldyn = append(data.Moldyn, MemBudgetRow{
+			BudgetKB:   budget >> 10,
+			Plan:       plan.String(),
+			TtableMsgs: int64(r.Detail["msgs.chaos.ttable"]),
+			TtableMB:   r.Detail["mb.chaos.ttable"],
+			PeakKB:     r.MaxPeakMB() * 1e3,
+		})
+	}
+
+	sn := 4 * n
+	spp := spmv.DefaultParams(sn, procs)
+	spp.FarPerRow = 0
+	spmvWork := spp.WorkTablePages()
+	for _, budget := range memBudgets(sn, procs, spmvWork) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		plan := mem.PlanTable(budget, sn, procs, spmvWork)
+		p := spp
+		p.TableKind = plan.Kind
+		p.TableCachePages = plan.CachePages
+		r := spmv.RunChaos(spmv.Generate(p))
+		data.Spmv = append(data.Spmv, SpmvBudgetRow{
+			BudgetKB: budget >> 10,
+			Plan:     plan.String(),
+			TableKB:  float64(r.MemCat(chaos.MemCatTable).PeakBytes) / 1e3,
+			PeakKB:   r.MaxPeakMB() * 1e3,
+		})
+	}
+
+	// The anecdote, run twice: the assertion and the bit-identity are
+	// both part of the sweep's contract.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep, err := RunMemAnecdote()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep2, err := RunMemAnecdote()
+	if err != nil {
+		return nil, err
+	}
+	if *rep != *rep2 {
+		return nil, fmt.Errorf("anecdote not byte-identical across runs: %+v vs %+v", rep, rep2)
+	}
+	data.Anecdote = *rep
+
+	// The table_budget_kb axis: the anecdote configuration re-planned
+	// under each budget. Crossing mem.ReplicatedBytes(N) flips the
+	// policy from the replicated table to the forced distributed one —
+	// the crossover the scenario bands pin.
+	for _, kb := range budgetSweepKB {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p := MoldynAnecdoteParams()
+		plan := mem.PlanTable(int64(kb)<<10, p.N, p.Procs, mem.TablePages(p.N))
+		p.TableKind = plan.Kind
+		p.TableCachePages = plan.CachePages
+		r := moldyn.RunChaos(moldyn.Generate(p))
+		data.Budget = append(data.Budget, BudgetPoint{
+			BudgetKB:   kb,
+			PlanKind:   int(plan.Kind),
+			Plan:       plan.String(),
+			TtableMsgs: int64(r.Detail["msgs.chaos.ttable"]),
+			TtableMB:   r.Detail["mb.chaos.ttable"],
+			PeakKB:     r.MaxPeakMB() * 1e3,
+		})
+	}
+	return data, nil
+}
+
+// metrics flattens the memory experiment's asserted numbers: the
+// anecdote's four plus, per budget-axis point, the plan ordinal and
+// the traffic/footprint the plan produced.
+func (d *MemSweepData) metrics() map[string]float64 {
+	out := map[string]float64{
+		"anecdote/ttable_msgs": float64(d.Anecdote.TtableMsgs),
+		"anecdote/ttable_mb":   float64(d.Anecdote.TtableBytes) / 1e6,
+		"anecdote/peak_kb":     d.Anecdote.PeakKB,
+		"anecdote/time_s":      d.Anecdote.TimeSec,
+	}
+	for _, bp := range d.Budget {
+		prefix := fmt.Sprintf("anecdote/budget_kb=%d/", bp.BudgetKB)
+		out[prefix+"plan"] = float64(bp.PlanKind)
+		out[prefix+"ttable_mb"] = bp.TtableMB
+		out[prefix+"ttable_msgs"] = float64(bp.TtableMsgs)
+		out[prefix+"peak_kb"] = bp.PeakKB
+	}
+	return out
+}
+
+// ---- The generic app experiment ----------------------------------------
+
+// runAppGrid executes the cross product of the request's sweep values
+// (if any) and its procs list, each configuration verified across all
+// four backends.
+func runAppGrid(ctx context.Context, req RunRequest) ([]*AppResults, error) {
+	sweepVals := []int{0}
+	if req.Sweep != nil {
+		sweepVals = req.Sweep.Values
+	}
+	var all []*AppResults
+	for _, sv := range sweepVals {
+		for _, procs := range req.Procs {
+			cfg := apps.Config{N: req.N, Procs: procs, Steps: req.Steps,
+				Seed: req.Seed, Machine: req.Machine}
+			for k, v := range req.Knobs {
+				cfg = cfg.WithKnob(k, v)
+			}
+			label := fmt.Sprintf("%d procs", procs)
+			if req.Sweep != nil {
+				label = fmt.Sprintf("%s=%d, %s", req.Sweep.Axis, sv, label)
+				switch req.Sweep.Axis {
+				case "n":
+					cfg.N = sv
+				case "steps":
+					cfg.Steps = sv
+				case "latency_us":
+					cfg.Machine.LatencyUS = sv
+				case "bandwidth_mbs":
+					cfg.Machine.BandwidthMBs = sv
+				default:
+					cfg = cfg.WithKnob(req.Sweep.Axis, sv)
+				}
+			}
+			res, err := RunAppCtx(ctx, req.App, cfg, label)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, res)
+		}
+	}
+	return all, nil
+}

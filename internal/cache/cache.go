@@ -1,0 +1,125 @@
+// Package cache is the determinism-powered result cache (DESIGN.md
+// §12): a content-addressed in-memory LRU keyed by the SHA-256 of a
+// canonical request encoding. Bit-reproducibility (§7/§10) makes every
+// simulated result a pure function of its canonically-encoded request,
+// so cache coherence holds by construction — there is nothing to
+// invalidate, ever; an entry can only be evicted, not stale.
+//
+// The cache stores opaque values (internal/runner pairs it with
+// bench.RunRequest/RunResult) so the dependency points downward:
+// bench can compute keys without importing the pool that uses them.
+// Cached values are shared across callers and must be treated as
+// immutable by everyone who reads them.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Key is a content address: the SHA-256 of a canonical encoding.
+type Key [sha256.Size]byte
+
+// KeyOf hashes a canonical encoding into its content address.
+func KeyOf(canonical []byte) Key {
+	return sha256.Sum256(canonical)
+}
+
+// String renders the key as hex (log and metrics labels).
+func (k Key) String() string {
+	return hex.EncodeToString(k[:])
+}
+
+// Stats is the cache's counter snapshot.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Capacity  int
+}
+
+type entry struct {
+	key Key
+	val any
+}
+
+// LRU is a fixed-capacity least-recently-used cache. All methods are
+// safe for concurrent use; a Get refreshes recency.
+type LRU struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List
+	items     map[Key]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// New builds an LRU holding at most capacity entries; New panics on a
+// non-positive capacity (a zero-capacity cache silently caching
+// nothing would make every hit-rate number a lie).
+func New(capacity int) *LRU {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	return &LRU{cap: capacity, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+// Get returns the cached value and whether it was present, counting a
+// hit or a miss.
+func (c *LRU) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put inserts or refreshes a value, evicting the least-recently-used
+// entry when the cache is full. Storing under the same key replaces
+// the value (with content addressing the two are the same result, so
+// this only happens when two computations of one key race).
+func (c *LRU) Put(k Key, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).val = v
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+	c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
+}
+
+// Len returns the current entry count.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+	}
+}

@@ -1,0 +1,82 @@
+package cache
+
+import "testing"
+
+func key(s string) Key { return KeyOf([]byte(s)) }
+
+// TestKeyOf checks the content address is stable for equal bytes and
+// distinct for different bytes.
+func TestKeyOf(t *testing.T) {
+	if key("a") != key("a") {
+		t.Error("equal content hashed to different keys")
+	}
+	if key("a") == key("b") {
+		t.Error("different content hashed to the same key")
+	}
+	if len(key("a").String()) != 64 {
+		t.Errorf("hex key length = %d, want 64", len(key("a").String()))
+	}
+}
+
+// TestGetPut exercises the basic hit/miss path and the counters.
+func TestGetPut(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(key("a"), "va")
+	v, ok := c.Get(key("a"))
+	if !ok || v.(string) != "va" {
+		t.Fatalf("Get = %v, %v, want va, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 || st.Entries != 1 || st.Capacity != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestReplaceSameKey checks a re-Put of an existing key replaces the
+// value without growing the cache.
+func TestReplaceSameKey(t *testing.T) {
+	c := New(2)
+	c.Put(key("a"), 1)
+	c.Put(key("a"), 2)
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after same-key re-Put, want 1", c.Len())
+	}
+	if v, _ := c.Get(key("a")); v.(int) != 2 {
+		t.Errorf("value = %v, want the replacement 2", v)
+	}
+}
+
+// TestLRUEviction fills the cache past capacity and checks the
+// least-recently-used entry is the one discarded.
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put(key("a"), "va")
+	c.Put(key("b"), "vb")
+	c.Get(key("a")) // a is now most-recently used
+	c.Put(key("c"), "vc")
+	if _, ok := c.Get(key("b")); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get(key("a")); !ok {
+		t.Error("recently-used entry a was evicted")
+	}
+	if _, ok := c.Get(key("c")); !ok {
+		t.Error("new entry c missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+}
+
+// TestBadCapacityPanics checks the constructor rejects a no-op cache.
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,44 @@
+package runner
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// ciTableRequests is the determinism leg's full table set at CI size —
+// the workload `scenario run -j` parallelizes.
+func ciTableRequests() []bench.RunRequest {
+	return []bench.RunRequest{
+		bench.Table1Request(bench.Table1Params{N: 512, Procs: 8, Steps: 10}),
+		bench.Table2Request(bench.Table2Params{Scale: 2, Procs: 8, Steps: 4, Partners: 40}),
+		bench.Table3Request(bench.Table3Params{N: 2048, NNZ: 24, Procs: 8, Steps: 4}),
+		bench.Table4Request(bench.Table4Params{Cities: 9, Items: 256, Procs: 8, Depth: 3, Batch: 4, ItemBatch: 8}),
+		bench.Table5Request(bench.Table5Params{Procs: 8, BudgetKB: 12, MoldynN: 512, NbfN: 2048, SpmvN: 4096, MoldynSteps: 10, Steps: 4}),
+	}
+}
+
+// BenchmarkTableSweep measures the full CI-size table sweep through a
+// one-worker pool versus a GOMAXPROCS pool (cache disabled, so every
+// iteration simulates). The serial/parallel ratio is the `-j` wall
+// clock claim; BENCH_sim.json records both legs. Run it with
+// -benchtime=1x: one iteration is the whole five-table sweep.
+func BenchmarkTableSweep(b *testing.B) {
+	for _, leg := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(leg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := New(leg.workers, nil)
+				if _, err := r.RunBatch(context.Background(), ciTableRequests()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

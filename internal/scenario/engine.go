@@ -1,20 +1,26 @@
 // The scenario engine: execute a validated Spec through the shared
-// bench renderers, flatten the verified results into named metrics,
-// check the assertion bands, and (when asked) run the whole experiment
-// twice and byte-diff the output — the determinism contract of
-// DESIGN.md §7/§10 as a per-scenario switch.
+// bench run layer (bench.Run via a runner's pool + cache), render the
+// structured result through the pure presentation functions, flatten
+// the verified results into named metrics, check the assertion bands,
+// and (when asked) prove reproducibility — the determinism contract of
+// DESIGN.md §7/§10 as a per-scenario switch. With the run/render split
+// the repro check is three results, not two runs: the first execution,
+// a second Do that must be a pure cache hit, and one uncached
+// verification re-run proving the simulation (not the cache) is what
+// reproduces.
 package scenario
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
 
-	"repro/internal/apps"
 	"repro/internal/bench"
+	"repro/internal/runner"
 )
 
 // Violation is one assertion band the run landed outside of.
@@ -61,25 +67,83 @@ func fmtMetric(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// Run executes the spec: once normally, twice with a byte-diff when
-// the spec asks for the repro check, then checks the assertion bands.
-// Band violations land in the outcome, not the error.
-func Run(spec *Spec) (*Outcome, error) {
-	out, err := runOnce(spec)
-	if err != nil {
-		return nil, err
+// Request maps the validated spec onto its canonical bench.RunRequest.
+// Canned params are fully resolved against the experiment defaults
+// before encoding, so a spec relying on a flag default and one
+// spelling it out share a content address. Variants are presentation
+// (a row filter) and never reach the request.
+func (s *Spec) Request() bench.RunRequest {
+	req := bench.RunRequest{Version: s.Version, Experiment: s.Experiment}
+	switch s.Experiment {
+	case "app":
+		req.App, req.N, req.Steps, req.Seed = s.App, s.N, s.Steps, s.Seed
+		req.Procs = append([]int(nil), s.Procs...)
+		if len(s.Knobs) > 0 {
+			req.Knobs = make(map[string]int, len(s.Knobs))
+			for k, v := range s.Knobs {
+				req.Knobs[k] = v
+			}
+		}
+		if s.Sweep != nil {
+			req.Sweep = &bench.SweepAxis{Axis: s.Sweep.Axis,
+				Values: append([]int(nil), s.Sweep.Values...)}
+		}
+	default:
+		params := map[string]int{}
+		for k := range experiments[s.Experiment] {
+			params[k] = s.Param(k)
+		}
+		req.Params = params
+		if s.Experiment == "memory" && s.Sweep != nil {
+			req.BudgetSweepKB = append([]int(nil), s.Sweep.Values...)
+		}
 	}
+	return req
+}
+
+// Run executes the spec on the shared default runner with a background
+// context — the convenience entry the tests and single-scenario
+// callers use. Band violations land in the outcome, not the error.
+func Run(spec *Spec) (*Outcome, error) {
+	return RunCtx(context.Background(), runner.Default(), spec)
+}
+
+// RunCtx executes the spec through the given runner: one Do (cache or
+// pool), then — when the spec asks for the repro check — a second Do
+// that exercises the cache plus one uncached verification re-run, all
+// three rendered and byte-diffed. Finally the assertion bands are
+// checked against the metrics.
+func RunCtx(ctx context.Context, r *runner.Runner, spec *Spec) (*Outcome, error) {
+	req := spec.Request()
+	res, err := r.Do(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	out := outcomeOf(spec, res)
 	if spec.Repro {
-		again, err := runOnce(spec)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %q: repro rerun failed: %w", spec.Name, err)
-		}
-		if out.Rendered != again.Rendered {
-			return nil, fmt.Errorf("scenario %q: not reproducible: rendered output differs across runs", spec.Name)
-		}
-		if a, b := out.MetricsText(), again.MetricsText(); a != b {
-			return nil, fmt.Errorf("scenario %q: not reproducible: metrics differ across runs:\n--- run 1 ---\n%s--- run 2 ---\n%s",
-				spec.Name, a, b)
+		// The cached pass: a repeated request must be served from the
+		// result cache (or re-executed if evicted) and render the same
+		// bytes; the uncached pass re-simulates from scratch, which is
+		// the §7/§10 bit-reproducibility claim itself.
+		for _, pass := range []struct {
+			name string
+			do   func(context.Context, bench.RunRequest) (*bench.RunResult, error)
+		}{
+			{"cached", r.Do},
+			{"uncached", r.DoUncached},
+		} {
+			again, err := pass.do(ctx, req)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: repro rerun failed: %w", spec.Name, err)
+			}
+			o2 := outcomeOf(spec, again)
+			if out.Rendered != o2.Rendered {
+				return nil, fmt.Errorf("scenario %q: not reproducible: rendered output differs across runs", spec.Name)
+			}
+			if a, b := out.MetricsText(), o2.MetricsText(); a != b {
+				return nil, fmt.Errorf("scenario %q: not reproducible: metrics differ across runs:\n--- run 1 ---\n%s--- run 2 (%s) ---\n%s",
+					spec.Name, a, pass.name, b)
+			}
 		}
 	}
 	for _, band := range spec.Assert {
@@ -95,124 +159,67 @@ func Run(spec *Spec) (*Outcome, error) {
 	return out, nil
 }
 
-// runOnce dispatches one execution of the spec's experiment.
-func runOnce(spec *Spec) (*Outcome, error) {
+// outcomeOf renders one structured result into an outcome — a pure
+// function, so equal results always yield equal bytes.
+func outcomeOf(spec *Spec, res *bench.RunResult) *Outcome {
 	var buf bytes.Buffer
-	var metrics map[string]float64
-	var err error
-	switch spec.Experiment {
-	case "table1":
-		var all []*bench.AppResults
-		all, err = bench.RenderTable1(&buf, bench.Table1Params{
-			N: spec.Param("n"), Procs: spec.Param("procs"), Steps: spec.Param("steps")})
-		metrics = bench.Metrics(all)
-	case "table2":
-		var all []*bench.AppResults
-		all, err = bench.RenderTable2(&buf, bench.Table2Params{
-			Scale: spec.Param("scale"), Procs: spec.Param("procs"),
-			Steps: spec.Param("steps"), Partners: spec.Param("partners")})
-		metrics = bench.Metrics(all)
-	case "table3":
-		var all []*bench.AppResults
-		all, err = bench.RenderTable3(&buf, bench.Table3Params{
-			N: spec.Param("n"), NNZ: spec.Param("nnz"),
-			Procs: spec.Param("procs"), Steps: spec.Param("steps")})
-		metrics = bench.Metrics(all)
-	case "table4":
-		var all []*bench.AppResults
-		all, err = bench.RenderTable4(&buf, bench.Table4Params{
-			Cities: spec.Param("cities"), Items: spec.Param("items"),
-			Procs: spec.Param("procs"), Depth: spec.Param("depth"),
-			Batch: spec.Param("batch"), ItemBatch: spec.Param("item_batch")})
-		metrics = bench.Metrics(all)
-	case "table5":
-		var all []*bench.AppResults
-		all, err = bench.RenderTable5(&buf, bench.Table5Params{
-			Procs: spec.Param("procs"), BudgetKB: spec.Param("budget_kb"),
-			MoldynN: spec.Param("n"), NbfN: spec.Param("nbf"), SpmvN: spec.Param("spmv"),
-			MoldynSteps: spec.Param("moldyn_steps"), Steps: spec.Param("steps")})
-		metrics = bench.Metrics(all)
-	case "memory":
-		var rep *bench.AnecdoteReport
-		rep, err = bench.RenderMemorySweep(&buf, bench.MemorySweepParams{
-			N: spec.Param("n"), Procs: spec.Param("procs")})
-		if rep != nil {
-			metrics = map[string]float64{
-				"anecdote/ttable_msgs": float64(rep.TtableMsgs),
-				"anecdote/ttable_mb":   float64(rep.TtableBytes) / 1e6,
-				"anecdote/peak_kb":     rep.PeakKB,
-				"anecdote/time_s":      rep.TimeSec,
-			}
-		}
-	case "app":
-		metrics, err = runAppExperiment(spec, &buf)
-	default:
-		// validate() rejects anything else; a hole here is a bug.
-		return nil, fmt.Errorf("scenario %q: unexecutable experiment %q", spec.Name, spec.Experiment)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
-	}
-	return &Outcome{Spec: spec, Rendered: buf.String(), Metrics: metrics}, nil
+	present(&buf, spec, res)
+	return &Outcome{Spec: spec, Rendered: buf.String(), Metrics: res.Metrics}
 }
 
-// runAppExperiment runs the generic app experiment: the cross product
-// of the sweep values (if any) and the procs list, each configuration
-// verified across all four backends, rendered as one table with the
-// rows the spec's variants select.
-func runAppExperiment(spec *Spec, w io.Writer) (map[string]float64, error) {
-	sweepVals := []int{0}
-	if spec.Sweep != nil {
-		sweepVals = spec.Sweep.Values
+// present formats the result exactly as the corresponding command
+// would (the golden fixtures are the contract).
+func present(w io.Writer, spec *Spec, res *bench.RunResult) {
+	switch spec.Experiment {
+	case "table1":
+		bench.PresentTable1(w, bench.Table1Params{
+			N: spec.Param("n"), Procs: spec.Param("procs"), Steps: spec.Param("steps")}, res)
+	case "table2":
+		bench.PresentTable2(w, bench.Table2Params{
+			Scale: spec.Param("scale"), Procs: spec.Param("procs"),
+			Steps: spec.Param("steps"), Partners: spec.Param("partners")}, res)
+	case "table3":
+		bench.PresentTable3(w, bench.Table3Params{
+			N: spec.Param("n"), NNZ: spec.Param("nnz"),
+			Procs: spec.Param("procs"), Steps: spec.Param("steps")}, res)
+	case "table4":
+		bench.PresentTable4(w, bench.Table4Params{
+			Cities: spec.Param("cities"), Items: spec.Param("items"),
+			Procs: spec.Param("procs"), Depth: spec.Param("depth"),
+			Batch: spec.Param("batch"), ItemBatch: spec.Param("item_batch")}, res)
+	case "table5":
+		bench.PresentTable5(w, bench.Table5Params{
+			Procs: spec.Param("procs"), BudgetKB: spec.Param("budget_kb"),
+			MoldynN: spec.Param("n"), NbfN: spec.Param("nbf"), SpmvN: spec.Param("spmv"),
+			MoldynSteps: spec.Param("moldyn_steps"), Steps: spec.Param("steps")}, res)
+	case "memory":
+		bench.PresentMemorySweep(w, bench.MemorySweepParams{
+			N: spec.Param("n"), Procs: spec.Param("procs")}, res)
+	case "app":
+		presentApp(w, spec, res)
 	}
+}
+
+// presentApp renders the generic app experiment: one table whose rows
+// are the spec's variant selection over every verified configuration.
+func presentApp(w io.Writer, spec *Spec, res *bench.RunResult) {
 	want := map[string]bool{}
 	for _, v := range spec.Variants {
 		want[v] = true
 	}
-
-	title := fmt.Sprintf("Scenario %s: %s (N=%d).", spec.Name, spec.App, spec.N)
-	tbl := &bench.Table{Title: title}
-	var all []*bench.AppResults
-	for _, sv := range sweepVals {
-		for _, procs := range spec.Procs {
-			cfg := apps.Config{N: spec.N, Procs: procs, Steps: spec.Steps, Seed: spec.Seed}
-			for k, v := range spec.Knobs {
-				cfg = cfg.WithKnob(k, v)
+	tbl := &bench.Table{Title: fmt.Sprintf("Scenario %s: %s (N=%d).", spec.Name, spec.App, spec.N)}
+	for _, ar := range res.Apps {
+		for _, r := range ar.All() {
+			if !want[r.System] {
+				continue
 			}
-			label := fmt.Sprintf("%d procs", procs)
-			if spec.Sweep != nil {
-				label = fmt.Sprintf("%s=%d, %s", spec.Sweep.Axis, sv, label)
-				switch spec.Sweep.Axis {
-				case "n":
-					cfg.N = sv
-				case "steps":
-					cfg.Steps = sv
-				case "latency_us":
-					cfg.Machine.LatencyUS = sv
-				case "bandwidth_mbs":
-					cfg.Machine.BandwidthMBs = sv
-				default:
-					cfg = cfg.WithKnob(spec.Sweep.Axis, sv)
-				}
-			}
-			res, err := bench.RunApp(spec.App, cfg, label)
-			if err != nil {
-				return nil, err
-			}
-			all = append(all, res)
-			for _, r := range res.All() {
-				if !want[r.System] {
-					continue
-				}
-				tbl.Rows = append(tbl.Rows, bench.Row{
-					Config: res.Config, System: r.System, TimeSec: r.TimeSec,
-					Speedup: r.Speedup, Messages: r.Messages, DataMB: r.DataMB,
-					Detail: r.Detail,
-				})
-			}
+			tbl.Rows = append(tbl.Rows, bench.Row{
+				Config: ar.Config, System: r.System, TimeSec: r.TimeSec,
+				Speedup: r.Speedup, Messages: r.Messages, DataMB: r.DataMB,
+				Detail: r.Detail,
+			})
 		}
 	}
 	fmt.Fprint(w, tbl.String())
 	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
-	return bench.Metrics(all), nil
 }

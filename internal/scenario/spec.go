@@ -53,10 +53,20 @@ type Sweep struct {
 	Values []int
 }
 
+// SpecVersion is the schema version this package reads and writes. A
+// spec may pin `version: 1` explicitly; an absent key means version 1
+// (every pre-versioning spec file is a valid version-1 spec), and any
+// other value is rejected so a future schema bump fails loudly here
+// instead of half-parsing.
+const SpecVersion = 1
+
 // Spec is one validated scenario.
 type Spec struct {
 	Name        string
 	Description string
+	// Version is the spec schema version, normalized to SpecVersion
+	// during validation (0, the absent-key value, means "current").
+	Version int
 	// Experiment is table1..table5, memory, or app.
 	Experiment string
 	// Params carries the table/memory experiments' parameters (the
@@ -169,7 +179,8 @@ func Files(dir string) ([]string, error) {
 // specKeys is the complete top-level vocabulary; anything else is a
 // typo and must not silently validate.
 var specKeys = map[string]bool{
-	"name": true, "description": true, "experiment": true, "params": true,
+	"version": true,
+	"name":    true, "description": true, "experiment": true, "params": true,
 	"repro": true, "app": true, "n": true, "steps": true, "seed": true,
 	"procs": true, "variants": true, "knobs": true, "sweep": true, "assert": true,
 }
@@ -188,6 +199,9 @@ func FromGeneric(doc any) (*Spec, error) {
 	}
 	s := &Spec{}
 	var err error
+	if s.Version, _, err = optInt(m, "version"); err != nil {
+		return nil, err
+	}
 	if s.Name, err = optString(m, "name"); err != nil {
 		return nil, err
 	}
@@ -245,6 +259,14 @@ func (s *Spec) validate() error {
 	if s.Name == "" {
 		return fmt.Errorf(`scenario: missing required key "name"`)
 	}
+	switch s.Version {
+	case 0:
+		s.Version = SpecVersion
+	case SpecVersion:
+	default:
+		return fmt.Errorf("scenario %q: unsupported spec version %d (supported: %d)",
+			s.Name, s.Version, SpecVersion)
+	}
 	if s.Experiment == "" {
 		return fmt.Errorf(`scenario %q: missing required key "experiment"`, s.Name)
 	}
@@ -262,11 +284,27 @@ func (s *Spec) validate() error {
 			{"app", s.App != ""}, {"n", s.N != 0}, {"steps", s.Steps != 0},
 			{"seed", s.Seed != 0}, {"procs", len(s.Procs) > 0},
 			{"variants", len(s.Variants) > 0}, {"knobs", len(s.Knobs) > 0},
-			{"sweep", s.Sweep != nil},
 		}
 		for _, f := range appOnly {
 			if f.set {
 				return fmt.Errorf("scenario %q: key %q only applies to the app experiment", s.Name, f.key)
+			}
+		}
+		if s.Sweep != nil {
+			if s.Experiment != "memory" {
+				return fmt.Errorf(`scenario %q: key "sweep" only applies to the app and memory experiments`, s.Name)
+			}
+			if s.Sweep.Axis != "table_budget_kb" {
+				return fmt.Errorf(`scenario %q: the memory experiment can only sweep "table_budget_kb" (got %q)`,
+					s.Name, s.Sweep.Axis)
+			}
+			if len(s.Sweep.Values) == 0 {
+				return fmt.Errorf("scenario %q: sweep over %q has no values", s.Name, s.Sweep.Axis)
+			}
+			for _, v := range s.Sweep.Values {
+				if v <= 0 {
+					return fmt.Errorf("scenario %q: sweep value %d must be positive", s.Name, v)
+				}
 			}
 		}
 		for _, k := range sortedIntMapKeys(s.Params) {

@@ -36,6 +36,7 @@ repro: true
 	want := &Spec{
 		Name:        "latency-sweep",
 		Description: "chaos vs tmk as the wire slows down",
+		Version:     1,
 		Experiment:  "app",
 		Repro:       true,
 		App:         "moldyn",
@@ -111,6 +112,17 @@ func TestSpecDefaults(t *testing.T) {
 	if got := tbl.Param("partners"); got != 100 {
 		t.Errorf("Param(partners) = %d, want the flag default 100", got)
 	}
+	if tbl.Version != SpecVersion {
+		t.Errorf("absent version normalized to %d, want %d", tbl.Version, SpecVersion)
+	}
+
+	pinned, err := Parse([]byte("name: v\nexperiment: table1\nversion: 1\n"))
+	if err != nil {
+		t.Fatalf("Parse rejected an explicit version 1: %v", err)
+	}
+	if pinned.Version != SpecVersion {
+		t.Errorf("explicit version parsed as %d, want %d", pinned.Version, SpecVersion)
+	}
 }
 
 // TestValidationErrors is the satellite's table: every malformed spec
@@ -176,7 +188,19 @@ func TestValidationErrors(t *testing.T) {
 			`scenario "x": key "app" only applies to the app experiment`},
 		{"sweep on a table experiment",
 			"name: x\nexperiment: table1\nsweep:\n  axis: n\n  values: [1]\n",
-			`scenario "x": key "sweep" only applies to the app experiment`},
+			`scenario "x": key "sweep" only applies to the app and memory experiments`},
+		{"unsupported spec version",
+			"name: x\nexperiment: table1\nversion: 2\n",
+			`scenario "x": unsupported spec version 2 (supported: 1)`},
+		{"memory sweep on a foreign axis",
+			"name: x\nexperiment: memory\nsweep:\n  axis: n\n  values: [512]\n",
+			`scenario "x": the memory experiment can only sweep "table_budget_kb" (got "n")`},
+		{"memory sweep without values",
+			"name: x\nexperiment: memory\nsweep:\n  axis: table_budget_kb\n",
+			`scenario "x": sweep over "table_budget_kb" has no values`},
+		{"memory sweep with a non-positive budget",
+			"name: x\nexperiment: memory\nsweep:\n  axis: table_budget_kb\n  values: [48, 0]\n",
+			`scenario "x": sweep value 0 must be positive`},
 		{"params on an app experiment",
 			"name: x\nexperiment: app\napp: moldyn\nn: 64\nparams:\n  n: 64\n",
 			`scenario "x": key "params" only applies to the table and memory experiments`},
