@@ -8,7 +8,7 @@
 # changes enough that the 30% gate trips without a code cause.
 
 BENCH_PKGS    := . ./internal/sim
-BENCH_PATTERN := ^(BenchmarkArbiter|BenchmarkDelivery|BenchmarkStatsCount)
+BENCH_PATTERN := ^(BenchmarkArbiter|BenchmarkDelivery|BenchmarkSend|BenchmarkStatsCount)
 BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=100x -count=6
 
 # The serial-vs-parallel full-table sweep (internal/runner) runs in a
@@ -18,13 +18,22 @@ BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=100x -count=6
 # `scenario run -j` wall-clock claim.
 BENCH_SWEEP_FLAGS := -run '^$$' -bench '^BenchmarkTableSweep' -benchtime=1x -count=3
 
-.PHONY: test race bench-baseline bench-check
+.PHONY: test race bench-baseline bench-check profile
 
 test:
 	go build ./... && go test ./...
 
 race:
 	go test -race ./...
+
+# Profile a representative traced scenario run end to end: CPU and
+# allocation profiles land in /tmp for `go tool pprof`. The flags are
+# cmd/scenario's own (-cpuprofile/-memprofile precede the subcommand),
+# so any invocation can be profiled the same way.
+profile:
+	go run ./cmd/scenario -cpuprofile /tmp/scenario.cpu.pprof -memprofile /tmp/scenario.mem.pprof \
+		run -trace /tmp/traces ./scenarios/trace.yaml > /dev/null
+	@echo "profiles: /tmp/scenario.cpu.pprof /tmp/scenario.mem.pprof (go tool pprof <file>)"
 
 # Refresh the committed baseline on this machine. Separate commands,
 # not a pipe: a benchmark that panics mid-run must fail the target

@@ -5,9 +5,10 @@
 // to the corresponding command (cmd/table1..5, cmd/ablate
 // -sweep=memory), so the existing golden fixtures are the contract.
 //
-//	scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] <file|dir|dir/...>...
+//	scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] [-trace dir] [-obs] <file|dir|dir/...>...
 //	scenario validate <file|dir|dir/...>...
 //	scenario list <file|dir|dir/...>...
+//	scenario trace-summary [-top N] <trace.json>...
 //
 // run executes the scenarios on a bounded worker pool (-j, default
 // GOMAXPROCS) fronted by a content-addressed result cache; outputs are
@@ -15,6 +16,16 @@
 // -j 1. It exits non-zero when any assertion band is violated, when
 // the repro check finds a run-to-run difference, or when a spec fails
 // to load; validate exits non-zero on the first invalid spec.
+//
+// -trace <dir> records the deterministic simulated-time trace of every
+// scenario (DESIGN.md §13) and writes <dir>/<name>.trace.json — Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev). -obs dumps
+// the process metrics registry in Prometheus text format after the
+// outcomes. trace-summary reduces recorded traces to the top-N hottest
+// locks by wait time, longest barrier stalls, and busiest links.
+//
+// The profiling flags -cpuprofile/-memprofile (before the subcommand)
+// write pprof profiles of the whole invocation; see `make profile`.
 package main
 
 import (
@@ -26,57 +37,115 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	// realMain so the deferred profile writers run before the process
+	// exits (defers do not fire across os.Exit).
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	args := os.Args[1:]
+	// Profiling flags come before the subcommand so every command can
+	// be profiled without each of them re-declaring the flags.
+	var cpuprofile, memprofile string
+	for len(args) > 0 {
+		switch {
+		case args[0] == "-cpuprofile" && len(args) > 1:
+			cpuprofile, args = args[1], args[2:]
+		case args[0] == "-memprofile" && len(args) > 1:
+			memprofile, args = args[1], args[2:]
+		default:
+			goto parsed
+		}
+	}
+parsed:
+	if len(args) < 1 {
 		usage(os.Stderr)
-		os.Exit(2)
+		return 2
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scenario:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "scenario:", err)
+			return 1
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scenario:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "scenario:", err)
+			}
+		}()
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var err error
-	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
+	switch cmd, rest := args[0], args[1:]; cmd {
 	case "run":
-		err = runCmd(ctx, os.Stdout, args)
+		err = runCmd(ctx, os.Stdout, rest)
 	case "validate":
-		err = validateCmd(os.Stdout, args)
+		err = validateCmd(os.Stdout, rest)
 	case "list":
-		err = listCmd(os.Stdout, args)
+		err = listCmd(os.Stdout, rest)
+	case "trace-summary":
+		err = traceSummaryCmd(os.Stdout, rest)
 	case "help", "-h", "-help", "--help":
 		usage(os.Stdout)
-		return
+		return 0
 	default:
 		fmt.Fprintf(os.Stderr, "scenario: unknown command %q\n", cmd)
 		usage(os.Stderr)
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scenario:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] <file|dir|dir/...>...
+  scenario [-cpuprofile f] [-memprofile f] <command> ...
+  scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] [-trace dir] [-obs] <file|dir|dir/...>...
   scenario validate <file|dir|dir/...>...
-  scenario list <file|dir|dir/...>...`)
+  scenario list <file|dir|dir/...>...
+  scenario trace-summary [-top N] <trace.json>...`)
 }
 
 // runOpts carries the run flags; main_test drives run() directly.
 type runOpts struct {
-	jobs    int    // scenario worker-pool bound (0 = GOMAXPROCS)
-	repro   bool   // force the run-twice byte-diff on every spec
-	procs   int    // override every spec's processor count (0 = as specified)
-	outDir  string // also write each rendering to <outDir>/<name>.txt
-	metrics bool   // print the flattened metrics after each rendering
+	jobs     int    // scenario worker-pool bound (0 = GOMAXPROCS)
+	repro    bool   // force the run-twice byte-diff on every spec
+	procs    int    // override every spec's processor count (0 = as specified)
+	outDir   string // also write each rendering to <outDir>/<name>.txt
+	metrics  bool   // print the flattened metrics after each rendering
+	traceDir string // force trace: true; write <traceDir>/<name>.trace.json
+	obs      bool   // print the metrics registry (Prometheus text) at the end
 }
 
 func runCmd(ctx context.Context, w io.Writer, args []string) error {
@@ -87,6 +156,8 @@ func runCmd(ctx context.Context, w io.Writer, args []string) error {
 	fs.IntVar(&opts.procs, "procs", 0, "override every scenario's processor count (0 = as specified)")
 	fs.StringVar(&opts.outDir, "out", "", "also write each scenario's rendered output to <dir>/<name>.txt")
 	fs.BoolVar(&opts.metrics, "metrics", false, "print the flattened metrics after each rendering")
+	fs.StringVar(&opts.traceDir, "trace", "", "record the simulated-time trace of every scenario into <dir>/<name>.trace.json")
+	fs.BoolVar(&opts.obs, "obs", false, "print the process metrics registry (Prometheus text format) after the outcomes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,6 +179,11 @@ func run(ctx context.Context, w io.Writer, files []string, opts runOpts) error {
 			return err
 		}
 	}
+	if opts.traceDir != "" {
+		if err := os.MkdirAll(opts.traceDir, 0o755); err != nil {
+			return err
+		}
+	}
 	specs := make([]*scenario.Spec, len(files))
 	for i, f := range files {
 		spec, err := scenario.Load(f)
@@ -116,6 +192,11 @@ func run(ctx context.Context, w io.Writer, files []string, opts runOpts) error {
 		}
 		if opts.repro {
 			spec.Repro = true
+		}
+		if opts.traceDir != "" && spec.Experiment != "memory" {
+			// The memory experiment stays untraced (DESIGN.md §13), so
+			// -trace leaves such specs alone instead of failing the run.
+			spec.Trace = true
 		}
 		if opts.procs > 0 {
 			overrideProcs(spec, opts.procs)
@@ -146,6 +227,13 @@ func run(ctx context.Context, w io.Writer, files []string, opts runOpts) error {
 				return err
 			}
 		}
+		if opts.traceDir != "" && out.Trace != nil {
+			path := filepath.Join(opts.traceDir, spec.Name+".trace.json")
+			if err := os.WriteFile(path, out.Trace, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\ntrace: %s (%d events)\n", path, bytesEventCount(out.Trace))
+		}
 		for _, v := range out.Violations {
 			fmt.Fprintf(w, "\nVIOLATION %s: %s\n", spec.Name, v)
 			violated = append(violated, fmt.Sprintf("%s: %s", spec.Name, v))
@@ -154,11 +242,27 @@ func run(ctx context.Context, w io.Writer, files []string, opts runOpts) error {
 			fmt.Fprintln(w)
 		}
 	}
+	if opts.obs {
+		fmt.Fprintf(w, "\n-- obs registry\n%s", obs.Default().Text())
+	}
 	if len(violated) > 0 {
 		return fmt.Errorf("%d assertion violation(s):\n  %s",
 			len(violated), strings.Join(violated, "\n  "))
 	}
 	return nil
+}
+
+// bytesEventCount counts the recorded trace events (one per line
+// between the array brackets) without parsing the JSON.
+func bytesEventCount(trace []byte) int {
+	n := strings.Count(string(trace), "\n")
+	// Header line, closing "]}" line, and the per-episode metadata
+	// lines are not events; undercounting by metadata is fine for a
+	// human-facing hint, so just subtract the two frame lines.
+	if n >= 2 {
+		return n - 2
+	}
+	return 0
 }
 
 // overrideProcs points every run of the spec at one cluster size — the

@@ -32,9 +32,10 @@ func TestGoldenScenarios(t *testing.T) {
 		{"../../scenarios/table4.yaml", "../table4/testdata/table4.golden"},
 		{"../../scenarios/table5.yaml", "../table5/testdata/table5.golden"},
 		{"../../scenarios/memory.yaml", "../ablate/testdata/memory.golden"},
-		// The app-experiment scenario has no bespoke command; its
-		// fixture lives here.
+		// The app-experiment scenarios have no bespoke command; their
+		// fixtures live here.
 		{"../../scenarios/latency.yaml", "testdata/latency.golden"},
+		{"../../scenarios/trace.yaml", "testdata/trace.golden"},
 	}
 	for _, tc := range cases {
 		t.Run(filepath.Base(tc.spec), func(t *testing.T) {
@@ -104,7 +105,7 @@ func TestValidateTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, "13 scenario(s) valid") {
+	if !strings.Contains(out, "14 scenario(s) valid") {
 		t.Errorf("validate output:\n%s", out)
 	}
 	for _, f := range []string{"table1.yaml", "nightly/memory.yaml"} {

@@ -1,0 +1,220 @@
+// The trace-summary subcommand: reduce recorded Chrome trace-event
+// files (scenario run -trace) to the top-N hot spots a human looks for
+// first — which locks cost the most simulated wait time, which barrier
+// episodes stalled longest, and which processor-to-processor links
+// carried the most bytes. Output ordering is deterministic: value
+// descending, then key ascending, so the summary of a byte-identical
+// trace is itself byte-identical.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent mirrors the fields internal/obs renders (trace.go); args
+// values are numbers or strings depending on the event kind.
+type chromeEvent struct {
+	Ph   string                     `json:"ph"`
+	Pid  int                        `json:"pid"`
+	Tid  int                        `json:"tid"`
+	Ts   float64                    `json:"ts"`
+	Dur  float64                    `json:"dur"`
+	Name string                     `json:"name"`
+	Cat  string                     `json:"cat"`
+	Args map[string]json.RawMessage `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func traceSummaryCmd(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("scenario trace-summary", flag.ContinueOnError)
+	top := fs.Int("top", 10, "rows per table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no trace files given")
+	}
+	for i, path := range fs.Args() {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := summarizeTrace(w, path, *top); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// lockKey aggregates lock-wait spans per (episode, resource);
+// linkKey aggregates send bytes per (episode, from, to).
+type (
+	lockKey struct{ pid, res int }
+	linkKey struct{ pid, from, to int }
+	barRow  struct {
+		pid, proc, id int
+		ts, dur       float64
+	}
+)
+
+func summarizeTrace(w io.Writer, path string, top int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		return err
+	}
+
+	epLabel := map[int]string{}
+	lockWait := map[lockKey]float64{}
+	lockN := map[lockKey]int{}
+	linkBytes := map[linkKey]int64{}
+	linkN := map[linkKey]int{}
+	var bars []barRow
+	events := 0
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "M" {
+			if ev.Name == "process_name" {
+				var a struct {
+					Name string `json:"name"`
+				}
+				if b, ok := ev.Args["name"]; ok {
+					_ = json.Unmarshal([]byte(`{"name":`+string(b)+`}`), &a)
+				}
+				epLabel[ev.Pid] = a.Name
+			}
+			continue
+		}
+		events++
+		switch ev.Cat {
+		case "lock":
+			// Count waits only: holds share the cat but measure useful
+			// critical-section time, not contention.
+			if len(ev.Name) > 5 && ev.Name[len(ev.Name)-5:] == " wait" {
+				res := argInt(ev.Args, "res")
+				k := lockKey{pid: ev.Pid, res: res}
+				lockWait[k] += ev.Dur
+				lockN[k]++
+			}
+		case "barrier":
+			bars = append(bars, barRow{pid: ev.Pid, proc: ev.Tid,
+				id: argInt(ev.Args, "id"), ts: ev.Ts, dur: ev.Dur})
+		case "send":
+			k := linkKey{pid: ev.Pid, from: ev.Tid, to: argInt(ev.Args, "to")}
+			linkBytes[k] += int64(argInt(ev.Args, "bytes"))
+			linkN[k]++
+		}
+	}
+
+	label := func(pid int) string {
+		if l, ok := epLabel[pid]; ok && l != "" {
+			return l
+		}
+		return fmt.Sprintf("episode %d", pid)
+	}
+
+	fmt.Fprintf(w, "%s: %d events, %d episodes\n", path, events, len(epLabel))
+
+	// Hottest locks by total simulated wait.
+	locks := make([]lockKey, 0, len(lockWait))
+	for k := range lockWait {
+		locks = append(locks, k)
+	}
+	sort.Slice(locks, func(a, b int) bool {
+		if lockWait[locks[a]] != lockWait[locks[b]] {
+			return lockWait[locks[a]] > lockWait[locks[b]]
+		}
+		if locks[a].pid != locks[b].pid {
+			return locks[a].pid < locks[b].pid
+		}
+		return locks[a].res < locks[b].res
+	})
+	fmt.Fprintf(w, "\nHottest locks by total wait (top %d of %d):\n", min(top, len(locks)), len(locks))
+	if len(locks) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for i, k := range locks {
+		if i >= top {
+			break
+		}
+		fmt.Fprintf(w, "  %10.1f us  lock %-4d waits=%-5d %s\n",
+			lockWait[k], k.res, lockN[k], label(k.pid))
+	}
+
+	// Longest barrier stalls (individual episodes).
+	sort.Slice(bars, func(a, b int) bool {
+		if bars[a].dur != bars[b].dur {
+			return bars[a].dur > bars[b].dur
+		}
+		if bars[a].pid != bars[b].pid {
+			return bars[a].pid < bars[b].pid
+		}
+		if bars[a].ts != bars[b].ts {
+			return bars[a].ts < bars[b].ts
+		}
+		return bars[a].proc < bars[b].proc
+	})
+	fmt.Fprintf(w, "\nLongest barrier stalls (top %d of %d):\n", min(top, len(bars)), len(bars))
+	if len(bars) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for i, b := range bars {
+		if i >= top {
+			break
+		}
+		fmt.Fprintf(w, "  %10.1f us  barrier %-3d proc %-3d at %.1f us  %s\n",
+			b.dur, b.id, b.proc, b.ts, label(b.pid))
+	}
+
+	// Busiest links by bytes sent.
+	links := make([]linkKey, 0, len(linkBytes))
+	for k := range linkBytes {
+		links = append(links, k)
+	}
+	sort.Slice(links, func(a, b int) bool {
+		if linkBytes[links[a]] != linkBytes[links[b]] {
+			return linkBytes[links[a]] > linkBytes[links[b]]
+		}
+		if links[a].pid != links[b].pid {
+			return links[a].pid < links[b].pid
+		}
+		if links[a].from != links[b].from {
+			return links[a].from < links[b].from
+		}
+		return links[a].to < links[b].to
+	})
+	fmt.Fprintf(w, "\nBusiest links by bytes sent (top %d of %d):\n", min(top, len(links)), len(links))
+	if len(links) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for i, k := range links {
+		if i >= top {
+			break
+		}
+		fmt.Fprintf(w, "  %10d B   proc %d -> %d  msgs=%-5d %s\n",
+			linkBytes[k], k.from, k.to, linkN[k], label(k.pid))
+	}
+	return nil
+}
+
+// argInt decodes a numeric arg; 0 when absent or non-numeric.
+func argInt(args map[string]json.RawMessage, key string) int {
+	raw, ok := args[key]
+	if !ok {
+		return 0
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0
+	}
+	return int(v)
+}

@@ -1,0 +1,107 @@
+// Trace-path tests: the committed trace golden the CI determinism leg
+// diffs, the byte-identity acceptance check (same trace bytes across
+// repeated runs and across -j values), and a trace-summary render
+// smoke test over the golden.
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/golden"
+	"repro/internal/raceflag"
+)
+
+// traceRun executes the specs with tracing into a temp dir and returns
+// the recorded trace file bytes, one per spec, in input order.
+func traceRun(t *testing.T, jobs int, specs ...string) [][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, specs, runOpts{jobs: jobs, traceDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, 0, len(specs))
+	for _, spec := range specs {
+		name := strings.TrimSuffix(filepath.Base(spec), filepath.Ext(spec))
+		raw, err := os.ReadFile(filepath.Join(dir, name+".trace.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, raw)
+	}
+	return out
+}
+
+// TestTraceGolden pins the recorded trace of the shipped trace fixture
+// byte-for-byte — the determinism contract of DESIGN.md §13 as a
+// committed artifact, diffed again by the CI determinism leg.
+func TestTraceGolden(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("golden render skipped under -race (see internal/raceflag)")
+	}
+	raw := traceRun(t, 1, "../../scenarios/trace.yaml")[0]
+	golden.Check(t, raw, "testdata/trace.trace.json", *update)
+}
+
+// TestTraceByteIdentity is the acceptance criterion: the trace of
+// scenarios/table1.yaml is byte-identical across three runs and across
+// -j 1 / -j 4. Each traced request bypasses the result cache, so every
+// run below is a full re-simulation, not a cache replay.
+func TestTraceByteIdentity(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("full table1 rerun matrix skipped under -race (see internal/raceflag)")
+	}
+	if testing.Short() {
+		t.Skip("re-simulates table1 four times")
+	}
+	const spec = "../../scenarios/table1.yaml"
+	first := traceRun(t, 1, spec)[0]
+	if len(first) == 0 {
+		t.Fatal("empty trace recorded")
+	}
+	for i := 0; i < 2; i++ {
+		if again := traceRun(t, 1, spec)[0]; !bytes.Equal(first, again) {
+			t.Fatalf("run %d trace differs from run 1 (%d vs %d bytes)", i+2, len(again), len(first))
+		}
+	}
+	if wide := traceRun(t, 4, spec)[0]; !bytes.Equal(first, wide) {
+		t.Fatalf("-j 4 trace differs from -j 1 (%d vs %d bytes)", len(wide), len(first))
+	}
+}
+
+// TestTraceSummary smoke-tests the trace-summary subcommand on the
+// committed golden: the three tables render, the taskq queue lock is
+// the hottest, and the output is deterministic (run twice).
+func TestTraceSummary(t *testing.T) {
+	var a, b bytes.Buffer
+	for _, w := range []*bytes.Buffer{&a, &b} {
+		if err := traceSummaryCmd(w, []string{"-top", "3", "testdata/trace.trace.json"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := a.String()
+	for _, want := range []string{"Hottest locks", "Longest barrier stalls", "Busiest links", "lock 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if out != b.String() {
+		t.Error("trace-summary output is not deterministic")
+	}
+}
+
+// TestTraceSummaryErrors covers the operand-validation paths.
+func TestTraceSummaryErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := traceSummaryCmd(&buf, nil); err == nil {
+		t.Error("no operands: want error")
+	}
+	if err := traceSummaryCmd(&buf, []string{"testdata/no-such-file.json"}); err == nil {
+		t.Error("missing file: want error")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -54,6 +55,15 @@ func PageRound(b, ps int) int {
 type Machine struct {
 	LatencyUS    int // one-way per-message latency (us); 0 = default
 	BandwidthMBs int // network bandwidth (MB/s == B/us); 0 = default
+
+	// Trace, when non-nil, is the trace recorder every cluster built
+	// through Config records into (DESIGN.md §13). It is observability
+	// plumbing, not configuration: bench.RunRequest.Canonical encodes
+	// only the latency/bandwidth fields, so a traced and an untraced
+	// run share a content address — which is exactly why the runner
+	// bypasses the result cache for traced requests (a cache hit would
+	// skip the side effect).
+	Trace *obs.Trace
 }
 
 // Config returns the simulated-machine description for procs
@@ -66,6 +76,7 @@ func (m Machine) Config(procs int) sim.Config {
 	if m.BandwidthMBs > 0 {
 		cfg.BytesPerUS = float64(m.BandwidthMBs)
 	}
+	cfg.Trace = m.Trace
 	return cfg
 }
 
@@ -238,8 +249,8 @@ type Measure struct {
 func NewMeasure(c *sim.Cluster) *Measure {
 	return &Measure{
 		c:         c,
-		startID:   sim.UniqueBarrierID(),
-		endID:     sim.UniqueBarrierID(),
+		startID:   c.UniqueBarrierID(),
+		endID:     c.UniqueBarrierID(),
 		startTime: make([]float64, c.NProcs()),
 		endTime:   make([]float64, c.NProcs()),
 	}

@@ -163,7 +163,7 @@ type RowSpec struct {
 // (Tables 1 and 2 fold it into the configuration label; Table 3 prints
 // it).
 func AppTable(title, app string, specs []RowSpec, withSeq bool) (*Table, []*AppResults, error) {
-	all, err := runItems(context.Background(), itemsOf(app, specs))
+	all, err := runItems(context.Background(), nil, itemsOf(app, specs))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -321,7 +321,7 @@ func lockRowsOf(res *AppResults) []LockRow {
 func Table4(tspCfg, taskqCfg apps.Config, tspSizes, taskqSizes []Size) (*LockTable, []*AppResults, error) {
 	items := append(itemsOf("tsp", sizeSpecs(tspCfg, tspSizes)),
 		itemsOf("taskq", sizeSpecs(taskqCfg, taskqSizes))...)
-	all, err := runItems(context.Background(), items)
+	all, err := runItems(context.Background(), nil, items)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -127,7 +127,7 @@ func Table5(specs []MemSpec, budgetKB, procs int) (*MemTable, []*AppResults, err
 		}
 		items = append(items, runItem{App: s.App, Label: s.Label, Cfg: cfg})
 	}
-	all, err := runItems(context.Background(), items)
+	all, err := runItems(context.Background(), nil, items)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/chaos"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // RequestVersion is the canonical-encoding schema version; it moves
@@ -73,6 +74,14 @@ type RunRequest struct {
 	// re-run at each per-processor budget (metrics only; the rendered
 	// sweep text is unchanged).
 	BudgetSweepKB []int
+
+	// Trace asks the run to record a deterministic simulated-event
+	// trace (RunResult.Trace, DESIGN.md §13). Like the old Detail flag
+	// it is deliberately NOT part of the canonical encoding: the
+	// simulated numbers are identical with or without it. The runner
+	// compensates by bypassing the result cache for traced requests —
+	// a cache hit cannot replay a side effect.
+	Trace bool
 }
 
 // Canonical returns the request's canonical byte encoding: a
@@ -152,6 +161,10 @@ type RunResult struct {
 	// Metrics is the flattened metric map (bench.Metrics for the app
 	// experiments, the anecdote/budget metrics for memory).
 	Metrics map[string]float64
+	// Trace is the rendered Chrome trace-event JSON when the request
+	// asked for one (nil otherwise). Byte-identical run to run: every
+	// timestamp in it is a simulated instant.
+	Trace []byte
 }
 
 // MemBudgetRow is one budget point of the moldyn (whole-working-set)
@@ -211,22 +224,31 @@ func Run(ctx context.Context, req RunRequest) (*RunResult, error) {
 		return nil, fmt.Errorf("bench: unsupported request version %d (supported: %d)", req.Version, RequestVersion)
 	}
 	res := &RunResult{Experiment: req.Experiment}
+	// The trace recorder, when asked for: plumbed to every parallel
+	// cluster through the Machine funnel (apps.Machine.Trace). The
+	// memory experiment stays untraced — its grids re-run one backend
+	// many times and the anecdote's run-twice identity check would
+	// double every episode (DESIGN.md §13).
+	var tr *obs.Trace
+	if req.Trace && req.Experiment != "memory" {
+		tr = obs.NewTrace()
+	}
 	var err error
 	switch req.Experiment {
 	case "table1":
-		res.Apps, err = runItems(ctx, table1Items(table1ParamsOf(req)))
+		res.Apps, err = runItems(ctx, tr, table1Items(table1ParamsOf(req)))
 	case "table2":
-		res.Apps, err = runItems(ctx, table2Items(table2ParamsOf(req)))
+		res.Apps, err = runItems(ctx, tr, table2Items(table2ParamsOf(req)))
 	case "table3":
-		res.Apps, err = runItems(ctx, table3Items(table3ParamsOf(req)))
+		res.Apps, err = runItems(ctx, tr, table3Items(table3ParamsOf(req)))
 	case "table4":
-		res.Apps, err = runItems(ctx, table4Items(table4ParamsOf(req)))
+		res.Apps, err = runItems(ctx, tr, table4Items(table4ParamsOf(req)))
 	case "table5":
-		res.Apps, err = runItems(ctx, table5Items(table5ParamsOf(req)))
+		res.Apps, err = runItems(ctx, tr, table5Items(table5ParamsOf(req)))
 	case "memory":
 		res.Mem, err = runMemorySweep(ctx, memoryParamsOf(req), req.BudgetSweepKB)
 	case "app":
-		res.Apps, err = runAppGrid(ctx, req)
+		res.Apps, err = runAppGrid(ctx, tr, req)
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", req.Experiment)
 	}
@@ -237,6 +259,9 @@ func Run(ctx context.Context, req RunRequest) (*RunResult, error) {
 		res.Metrics = res.Mem.metrics()
 	} else {
 		res.Metrics = Metrics(res.Apps)
+	}
+	if tr != nil {
+		res.Trace = tr.JSON()
 	}
 	return res, nil
 }
@@ -249,10 +274,17 @@ type runItem struct {
 }
 
 // runItems executes each configuration in order, checking the context
-// between them.
-func runItems(ctx context.Context, items []runItem) ([]*AppResults, error) {
+// between them. A non-nil tr labels each item as a trace phase and
+// rides into every parallel cluster through the Machine funnel; the
+// sequential reference builds its cluster from sim.DefaultConfig and
+// is untraced by construction.
+func runItems(ctx context.Context, tr *obs.Trace, items []runItem) ([]*AppResults, error) {
 	all := make([]*AppResults, 0, len(items))
 	for _, it := range items {
+		if tr != nil {
+			tr.SetPhase(it.App + "/" + it.Label)
+			it.Cfg.Machine.Trace = tr
+		}
 		res, err := RunAppCtx(ctx, it.App, it.Cfg, it.Label)
 		if err != nil {
 			return nil, err
@@ -559,7 +591,7 @@ func (d *MemSweepData) metrics() map[string]float64 {
 // runAppGrid executes the cross product of the request's sweep values
 // (if any) and its procs list, each configuration verified across all
 // four backends.
-func runAppGrid(ctx context.Context, req RunRequest) ([]*AppResults, error) {
+func runAppGrid(ctx context.Context, tr *obs.Trace, req RunRequest) ([]*AppResults, error) {
 	sweepVals := []int{0}
 	if req.Sweep != nil {
 		sweepVals = req.Sweep.Values
@@ -569,6 +601,7 @@ func runAppGrid(ctx context.Context, req RunRequest) ([]*AppResults, error) {
 		for _, procs := range req.Procs {
 			cfg := apps.Config{N: req.N, Procs: procs, Steps: req.Steps,
 				Seed: req.Seed, Machine: req.Machine}
+			cfg.Machine.Trace = tr
 			for k, v := range req.Knobs {
 				cfg = cfg.WithKnob(k, v)
 			}
@@ -587,6 +620,9 @@ func runAppGrid(ctx context.Context, req RunRequest) ([]*AppResults, error) {
 				default:
 					cfg = cfg.WithKnob(req.Sweep.Axis, sv)
 				}
+			}
+			if tr != nil {
+				tr.SetPhase(req.App + "/" + label)
 			}
 			res, err := RunAppCtx(ctx, req.App, cfg, label)
 			if err != nil {

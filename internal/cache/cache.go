@@ -17,6 +17,20 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Registry metrics, aggregated across every LRU in the process (the
+// scenario pool's cache and the runner.Default one): the satellite of
+// DESIGN.md §13 that makes the per-instance Stats() counters reachable
+// from `scenario run -obs`. Entries is a gauge (insert +1, evict -1);
+// the rest only grow.
+var (
+	mHits      = obs.Default().Counter("repro_cache_hits_total", "Result-cache lookups served from memory.")
+	mMisses    = obs.Default().Counter("repro_cache_misses_total", "Result-cache lookups that fell through to execution.")
+	mEvictions = obs.Default().Counter("repro_cache_evictions_total", "Result-cache entries displaced by LRU pressure.")
+	mEntries   = obs.Default().Gauge("repro_cache_entries", "Result-cache entries currently resident, all instances.")
 )
 
 // Key is a content address: the SHA-256 of a canonical encoding.
@@ -76,9 +90,11 @@ func (c *LRU) Get(k Key) (any, bool) {
 	el, ok := c.items[k]
 	if !ok {
 		c.misses++
+		mMisses.Inc()
 		return nil, false
 	}
 	c.hits++
+	mHits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*entry).val, true
 }
@@ -100,8 +116,11 @@ func (c *LRU) Put(k Key, v any) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*entry).key)
 		c.evictions++
+		mEvictions.Inc()
+		mEntries.Dec()
 	}
 	c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
+	mEntries.Inc()
 }
 
 // Len returns the current entry count.

@@ -111,6 +111,7 @@ func Inspect(p *sim.Proc, tag int, globals []int, tt *TransTable, cost Inspector
 	me := p.ID()
 	nprocs := p.NProcs()
 	n := tt.N()
+	inspectT0 := p.Clock()
 
 	if cost.TranslateAll {
 		// Translate the raw reference stream (charging the full
@@ -198,6 +199,9 @@ func Inspect(p *sim.Proc, tag int, globals []int, tt *TransTable, cost Inspector
 	// Charge the retained schedule only now that the send lists are in
 	// (MemBytes must match what ReleaseMem will free).
 	mem.Alloc(me, MemCatSched, sch.MemBytes())
+	// Trace annotation: the whole inspector phase (hash, translate,
+	// schedule exchange) as one span, sized by the retained schedule.
+	p.TraceSpan("chaos.inspect", inspectT0, p.Clock(), sch.MemBytes())
 	return sch
 }
 

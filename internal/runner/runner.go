@@ -12,9 +12,23 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// Registry metrics, aggregated across every Runner in the process.
+// These are wall-clock/operational numbers (DESIGN.md §13) — they
+// never appear in determinism-checked output.
+var (
+	mInflight = obs.Default().Gauge("repro_runner_inflight",
+		"Requests currently executing under a pool slot.")
+	mQueued = obs.Default().Gauge("repro_runner_queue_depth",
+		"Requests blocked waiting for a pool slot.")
+	mLatency = obs.Default().Histogram("repro_runner_request_seconds",
+		"Wall-clock request latency, queue wait included.", obs.DefLatencyBuckets())
 )
 
 // Runner is a bounded executor for RunRequests. The semaphore bounds
@@ -53,6 +67,14 @@ func (r *Runner) CacheStats() cache.Stats {
 // canceled or failed run can never corrupt the cache; the returned
 // result is shared across callers and must be treated as immutable.
 func (r *Runner) Do(ctx context.Context, req bench.RunRequest) (*bench.RunResult, error) {
+	if req.Trace {
+		// Tracing is a side effect outside the content address (the
+		// canonical encoding deliberately omits the Trace flag, §12):
+		// a cache hit would skip recording, and a Put would hand a
+		// trace to requests that never asked for one. Traced requests
+		// therefore never touch the cache in either direction.
+		return r.execute(ctx, req)
+	}
 	var key cache.Key
 	if r.c != nil {
 		key = req.Key()
@@ -79,12 +101,21 @@ func (r *Runner) DoUncached(ctx context.Context, req bench.RunRequest) (*bench.R
 }
 
 func (r *Runner) execute(ctx context.Context, req bench.RunRequest) (*bench.RunResult, error) {
+	start := time.Now()
+	mQueued.Inc()
 	select {
 	case r.sem <- struct{}{}:
+		mQueued.Dec()
 	case <-ctx.Done():
+		mQueued.Dec()
 		return nil, ctx.Err()
 	}
-	defer func() { <-r.sem }()
+	mInflight.Inc()
+	defer func() {
+		mInflight.Dec()
+		<-r.sem
+		mLatency.Observe(time.Since(start).Seconds())
+	}()
 	return bench.Run(ctx, req)
 }
 

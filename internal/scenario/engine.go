@@ -20,7 +20,18 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/runner"
+)
+
+// Registry metrics (DESIGN.md §13): how many scenarios ran, keyed by
+// experiment, and how many produced band violations. Operational only —
+// never part of determinism-checked output.
+var (
+	mRuns = obs.Default().CounterVec("repro_scenario_runs_total",
+		"Scenario executions, by experiment.", "experiment")
+	mViolations = obs.Default().Counter("repro_scenario_violations_total",
+		"Assertion-band violations across all scenario runs.")
 )
 
 // Violation is one assertion band the run landed outside of.
@@ -45,6 +56,10 @@ type Outcome struct {
 	Rendered   string
 	Metrics    map[string]float64
 	Violations []Violation
+	// Trace is the Chrome trace-event JSON recorded when the spec set
+	// trace: true (nil otherwise); byte-identical across runs and
+	// worker counts like every other determinism-checked artifact.
+	Trace []byte
 }
 
 // MetricsText renders the metrics one per line, sorted, with
@@ -98,6 +113,7 @@ func (s *Spec) Request() bench.RunRequest {
 			req.BudgetSweepKB = append([]int(nil), s.Sweep.Values...)
 		}
 	}
+	req.Trace = s.Trace
 	return req
 }
 
@@ -115,6 +131,7 @@ func Run(spec *Spec) (*Outcome, error) {
 // checked against the metrics.
 func RunCtx(ctx context.Context, r *runner.Runner, spec *Spec) (*Outcome, error) {
 	req := spec.Request()
+	mRuns.With(spec.Experiment).Inc()
 	res, err := r.Do(ctx, req)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
@@ -144,6 +161,10 @@ func RunCtx(ctx context.Context, r *runner.Runner, spec *Spec) (*Outcome, error)
 				return nil, fmt.Errorf("scenario %q: not reproducible: metrics differ across runs:\n--- run 1 ---\n%s--- run 2 (%s) ---\n%s",
 					spec.Name, a, pass.name, b)
 			}
+			if !bytes.Equal(out.Trace, o2.Trace) {
+				return nil, fmt.Errorf("scenario %q: not reproducible: trace bytes differ across runs (%s pass)",
+					spec.Name, pass.name)
+			}
 		}
 	}
 	for _, band := range spec.Assert {
@@ -164,7 +185,7 @@ func RunCtx(ctx context.Context, r *runner.Runner, spec *Spec) (*Outcome, error)
 func outcomeOf(spec *Spec, res *bench.RunResult) *Outcome {
 	var buf bytes.Buffer
 	present(&buf, spec, res)
-	return &Outcome{Spec: spec, Rendered: buf.String(), Metrics: res.Metrics}
+	return &Outcome{Spec: spec, Rendered: buf.String(), Metrics: res.Metrics, Trace: res.Trace}
 }
 
 // present formats the result exactly as the corresponding command

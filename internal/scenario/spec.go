@@ -76,6 +76,11 @@ type Spec struct {
 	// Repro asks the engine to run the whole experiment twice and
 	// byte-diff the rendered output and the metrics text.
 	Repro bool
+	// Trace asks the run to record the deterministic simulated-event
+	// trace (DESIGN.md §13); `scenario run -trace <dir>` writes it to
+	// <dir>/<name>.trace.json. Rejected for the memory experiment,
+	// which the run layer keeps untraced.
+	Trace bool
 
 	// The app-experiment fields (rejected for the other experiments).
 	App      string
@@ -181,8 +186,9 @@ func Files(dir string) ([]string, error) {
 var specKeys = map[string]bool{
 	"version": true,
 	"name":    true, "description": true, "experiment": true, "params": true,
-	"repro": true, "app": true, "n": true, "steps": true, "seed": true,
-	"procs": true, "variants": true, "knobs": true, "sweep": true, "assert": true,
+	"repro": true, "trace": true, "app": true, "n": true, "steps": true,
+	"seed": true, "procs": true, "variants": true, "knobs": true,
+	"sweep": true, "assert": true,
 }
 
 // FromGeneric builds and validates a Spec from the generic
@@ -215,6 +221,9 @@ func FromGeneric(doc any) (*Spec, error) {
 		return nil, err
 	}
 	if s.Repro, err = optBool(m, "repro"); err != nil {
+		return nil, err
+	}
+	if s.Trace, err = optBool(m, "trace"); err != nil {
 		return nil, err
 	}
 	if s.App, err = optString(m, "app"); err != nil {
@@ -274,6 +283,9 @@ func (s *Spec) validate() error {
 	if !canned && s.Experiment != "app" {
 		return fmt.Errorf("scenario %q: unknown experiment %q (want app, memory, table1, table2, table3, table4, or table5)",
 			s.Name, s.Experiment)
+	}
+	if s.Trace && s.Experiment == "memory" {
+		return fmt.Errorf("scenario %q: the memory experiment does not support trace: true (its grids re-run one backend many times; see DESIGN.md §13)", s.Name)
 	}
 
 	if canned {

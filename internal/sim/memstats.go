@@ -87,7 +87,17 @@ func (s *memShard) cell(cat string) *MemStat {
 type MemStats struct {
 	global memShard
 	shards []memShard
+
+	// c points back to the owning cluster so per-processor charges can
+	// emit trace counter events stamped with the processor's simulated
+	// clock. Nil for standalone MemStats (tests); global-shard charges
+	// (proc -1) are never traced — they have no deterministic lane
+	// (DESIGN.md §13).
+	c *Cluster
 }
+
+// attach wires the owning cluster (NewCluster calls this after init).
+func (m *MemStats) attach(c *Cluster) { m.c = c }
 
 // NewMemStats returns a MemStats with procs per-processor shards (the
 // cluster does this itself; the constructor exists for tests).
@@ -124,11 +134,23 @@ func (m *MemStats) Alloc(proc int, cat string, bytes int64) {
 	if c.CurBytes > c.PeakBytes {
 		c.PeakBytes = c.CurBytes
 	}
+	cur := c.CurBytes
 	sh.total.CurBytes += bytes
 	if sh.total.CurBytes > sh.total.PeakBytes {
 		sh.total.PeakBytes = sh.total.CurBytes
 	}
 	sh.mu.Unlock()
+	m.traceCharge(proc, cat, cur)
+}
+
+// traceCharge emits a trace counter sample for one per-processor cell.
+// Charges follow the package's own-goroutine discipline, so the lane
+// append order is program order; global-shard charges are dropped.
+func (m *MemStats) traceCharge(proc int, cat string, cur int64) {
+	if m.c == nil || m.c.trace == nil || proc < 0 || proc >= len(m.shards) {
+		return
+	}
+	m.c.trace.MemCounter(proc, cat, m.c.procs[proc].Clock(), cur)
 }
 
 // Free returns bytes previously charged with Alloc. Freeing more than
@@ -152,8 +174,10 @@ func (m *MemStats) Free(proc int, cat string, bytes int64) {
 			bytes, cat, proc, cur))
 	}
 	c.CurBytes -= bytes
+	cur := c.CurBytes
 	sh.total.CurBytes -= bytes
 	sh.mu.Unlock()
+	m.traceCharge(proc, cat, cur)
 }
 
 // Snapshot returns the full per-(category, processor) grid. The global

@@ -41,6 +41,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Config describes the simulated machine. All costs are in microseconds
@@ -64,6 +66,12 @@ type Config struct {
 	DiffUSPerB   float64 // scanning one byte when creating a diff
 	ApplyUSPerB  float64 // applying one diff byte to a page
 	BarrierMgrUS float64 // barrier manager bookkeeping per arrival
+
+	// Trace, when non-nil, records the cluster's simulated events
+	// (sends, deliveries, lock wait/hold, barriers, memory charges) as
+	// one trace episode (DESIGN.md §13). Nil — the default — keeps every
+	// hot path allocation-free: each emit sits behind one nil check.
+	Trace *obs.Trace
 }
 
 // DefaultConfig returns the SP2-like machine used throughout the
@@ -298,6 +306,17 @@ type Cluster struct {
 	Sync  SyncStats
 	Mem   MemStats
 
+	// trace is this cluster's trace episode, nil unless Config.Trace
+	// was set. Every emit is guarded by a nil check (the disabled path
+	// is allocation-free; see BenchmarkSendTraceDisabled). Lane-append
+	// ordering discipline: a processor's own goroutine appends to its
+	// lane in program order; the arbiter appends a grant record to a
+	// *blocked* grantee's lane, ordered by the ready-channel handoff.
+	trace *obs.Episode
+
+	// barrierIDSeq feeds UniqueBarrierID (atomic).
+	barrierIDSeq int64
+
 	// active counts processors currently runnable inside Run (atomic).
 	// qgen is bumped — before the matching active increment — on every
 	// wake, so the arbiter can tell "continuously quiescent since I
@@ -322,9 +341,13 @@ func NewCluster(cfg Config) *Cluster {
 		panic("sim: cluster needs at least one processor")
 	}
 	c := &Cluster{cfg: cfg, barriers: map[int]*barrier{}, resources: map[int]*resource{}}
+	if cfg.Trace != nil {
+		c.trace = cfg.Trace.Episode(cfg.Procs)
+	}
 	c.Stats.init(cfg.Procs)
 	c.Sync.init(cfg.Procs)
 	c.Mem.init(cfg.Procs)
+	c.Mem.attach(c)
 	for i := 0; i < cfg.Procs; i++ {
 		p := &Proc{
 			id:       i,
@@ -716,6 +739,10 @@ func (p *Proc) CallMulti(specs []CallSpec) []any {
 		if t0+rtt > done {
 			done = t0 + rtt
 		}
+		if tr := p.c.trace; tr != nil {
+			tr.Span(p.id, "call "+s.Kind, t0, t0+rtt,
+				cfg.WireBytes(s.ReqBytes)+cfg.WireBytes(respBytes))
+		}
 		p.c.Stats.CountP(p.id, s.Kind, cfg.Frags(s.ReqBytes)+cfg.Frags(respBytes),
 			cfg.WireBytes(s.ReqBytes)+cfg.WireBytes(respBytes))
 		resps[i] = resp
@@ -743,6 +770,9 @@ func (p *Proc) Send(target int, kind string, tag int, payload any, bytes int) {
 	env := envelope{from: p.id, seq: p.sendSeq, sentAt: sentAt, payload: payload, bytes: bytes}
 
 	c := p.c
+	if tr := c.trace; tr != nil {
+		tr.Send(p.id, target, kind, sentAt, c.cfg.WireBytes(bytes))
+	}
 	tgt := c.procs[target]
 	tgt.mbMu.Lock()
 	mb := tgt.mailboxLocked(kind, tag)
@@ -768,7 +798,11 @@ func (p *Proc) Recv(kind string, tag int) (from int, payload any) {
 	envs := p.drain(kind, tag, 1)
 	env := envs[0]
 	p.reclaimDrainBuf(envs)
-	p.advanceTo(env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes))
+	arrival := env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes)
+	if tr := p.c.trace; tr != nil {
+		tr.Deliver(p.id, env.from, kind, arrival, cfg.WireBytes(env.bytes))
+	}
+	p.advanceTo(arrival)
 	return env.from, env.payload
 }
 
@@ -790,6 +824,7 @@ func (p *Proc) RecvEach(kind string, tag int, n int, fn func(from int, payload a
 		return
 	}
 	cfg := &p.c.cfg
+	tr := p.c.trace
 	envs := p.drain(kind, tag, n)
 	if fn == nil {
 		// No per-message charges interleave, so the max/plus folds
@@ -797,7 +832,11 @@ func (p *Proc) RecvEach(kind string, tag int, n int, fn func(from int, payload a
 		// update instead of n.
 		last := 0.0
 		for _, env := range envs {
-			if t := env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes); t > last {
+			t := env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes)
+			if tr != nil {
+				tr.Deliver(p.id, env.from, kind, t, cfg.WireBytes(env.bytes))
+			}
+			if t > last {
 				last = t
 			}
 		}
@@ -806,7 +845,11 @@ func (p *Proc) RecvEach(kind string, tag int, n int, fn func(from int, payload a
 		return
 	}
 	for _, env := range envs {
-		p.advanceTo(env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes))
+		arrival := env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes)
+		if tr != nil {
+			tr.Deliver(p.id, env.from, kind, arrival, cfg.WireBytes(env.bytes))
+		}
+		p.advanceTo(arrival)
 		fn(env.from, env.payload)
 	}
 	p.reclaimDrainBuf(envs)
@@ -1002,6 +1045,11 @@ func (p *Proc) ReleaseResource(res int, val float64) {
 	r.held = false
 	r.lastVal = val
 	c.Sync.recordRelease(r.holder, res, val-r.grantAt)
+	if tr := c.trace; tr != nil {
+		// The releaser is the holder's own goroutine, so this is a
+		// program-order append to its own lane.
+		tr.LockHold(r.holder, res, r.grantAt, val)
+	}
 	c.arbMu.Unlock()
 	// A counted releaser is itself runnable, so the cluster cannot be
 	// quiescent here — the freed resource is granted when the last
@@ -1049,6 +1097,12 @@ func (c *Cluster) grantQuiescentLocked() {
 			r.grantAt = r.lastVal
 		}
 		c.Sync.recordGrant(w.proc, id, r.grantAt-w.key)
+		if tr := c.trace; tr != nil {
+			// Appended to the grantee's lane while the grantee is parked
+			// on its ready channel; the phase-two token send below orders
+			// this append before any later owner-goroutine append.
+			tr.LockWait(w.proc, id, w.key, r.grantAt)
+		}
 		if w.onGrant != nil {
 			w.onGrant()
 		}
@@ -1199,15 +1253,37 @@ func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc)
 	if p.id != 0 {
 		depart += cfg.LatencyUS + cfg.XferUS(rb)
 	}
+	if tr := c.trace; tr != nil {
+		tr.Barrier(p.id, id, arriveAt, depart)
+	}
 	p.advanceTo(depart)
 	return reply
 }
 
-// seqCounter supports unique barrier ids for callers that need private
-// episodes.
-var seqCounter int64
+// TraceSpan records a protocol-level annotation interval on this
+// processor's trace lane (no-op when the cluster is untraced). It must
+// be called by the processor's own goroutine, with simulated instants.
+func (p *Proc) TraceSpan(name string, startUS, endUS float64, bytes int64) {
+	if tr := p.c.trace; tr != nil {
+		tr.Span(p.id, name, startUS, endUS, bytes)
+	}
+}
 
-// UniqueBarrierID returns a process-wide unique id for ad-hoc barriers.
-func UniqueBarrierID() int {
-	return int(atomic.AddInt64(&seqCounter, 1)) + 1<<20
+// TraceMark records a protocol-level instant annotation on this
+// processor's trace lane (no-op when the cluster is untraced). It must
+// be called by the processor's own goroutine.
+func (p *Proc) TraceMark(name string, tsUS float64, bytes int64) {
+	if tr := p.c.trace; tr != nil {
+		tr.Mark(p.id, name, tsUS, bytes)
+	}
+}
+
+// UniqueBarrierID returns an id distinct from every previous call on
+// this cluster, offset past the application id space, for callers that
+// need private barrier episodes (e.g. the measurement window). The
+// counter is per-cluster, not process-global, so the ids — which the
+// trace records — are a pure function of the run, not of how many
+// clusters the process happened to build earlier.
+func (c *Cluster) UniqueBarrierID() int {
+	return int(atomic.AddInt64(&c.barrierIDSeq, 1)) + 1<<20
 }

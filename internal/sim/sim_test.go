@@ -272,8 +272,13 @@ func TestXferUS(t *testing.T) {
 }
 
 func TestUniqueBarrierID(t *testing.T) {
-	a, b := UniqueBarrierID(), UniqueBarrierID()
+	c := NewCluster(tiny(2))
+	a, b := c.UniqueBarrierID(), c.UniqueBarrierID()
 	if a == b {
 		t.Fatal("ids collide")
+	}
+	// Per-cluster determinism: a fresh cluster hands out the same ids.
+	if c2 := NewCluster(tiny(2)); c2.UniqueBarrierID() != a {
+		t.Fatal("ids are not a pure function of the cluster's history")
 	}
 }

@@ -205,6 +205,9 @@ func (n *Node) AcquireLock(id int) {
 	d.cluster.Stats.CountP(n.proc.ID(), "tmk.lock",
 		cfg.Frags(reqB)+cfg.Frags(bytes), cfg.WireBytes(reqB)+cfg.WireBytes(bytes))
 	d.cluster.Sync.CountGrantBytes(n.proc.ID(), id, int64(bytes))
+	// Trace annotation: the consistency freight this grant carried (the
+	// write notices the acquirer lacked), at the grant instant.
+	n.proc.TraceMark("tmk.notices", grantAt, int64(bytes))
 	n.proc.AdvanceTo(grantAt + cfg.LatencyUS + cfg.XferUS(bytes))
 
 	n.applyNotices(nts)
