@@ -18,7 +18,19 @@ BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=100x -count=6
 # `scenario run -j` wall-clock claim.
 BENCH_SWEEP_FLAGS := -run '^$$' -bench '^BenchmarkTableSweep' -benchtime=1x -count=3
 
-.PHONY: test race bench-baseline bench-check profile
+# The in-process benchmark names, as a benchgate -filter: the bench
+# legs gate only these against BENCH_sim.json, and the service leg
+# gates only BenchmarkSimdLoad — each leg filters the shared baseline
+# to what it actually ran.
+GATE_FILTER  := ^Benchmark(Arbiter|Delivery|Send|StatsCount|TableSweep)
+LOAD_FILTER  := ^BenchmarkSimdLoad
+
+# The service load test (cmd/simd + cmd/simload); see README "Running
+# as a service". SIMD_ADDR must be free.
+SIMD_ADDR     := 127.0.0.1:7077
+SIMLOAD_FLAGS := -addr http://$(SIMD_ADDR) -corpus scenarios/service -workers 8 -requests 200 -miss 0.25
+
+.PHONY: test race bench-baseline bench-check profile serve loadtest loadtest-baseline
 
 test:
 	go build ./... && go test ./...
@@ -41,10 +53,27 @@ profile:
 bench-baseline:
 	go test $(BENCH_FLAGS) $(BENCH_PKGS) > /tmp/bench-raw.txt
 	go test $(BENCH_SWEEP_FLAGS) ./internal/runner >> /tmp/bench-raw.txt
-	go run ./cmd/benchgate -out BENCH_sim.json < /tmp/bench-raw.txt
+	go run ./cmd/benchgate -filter '$(GATE_FILTER)' -merge BENCH_sim.json -out BENCH_sim.json < /tmp/bench-raw.txt
 
 # Run the same gate CI runs: fail if anything regressed >30%.
 bench-check:
 	go test $(BENCH_FLAGS) $(BENCH_PKGS) > /tmp/bench-raw.txt
 	go test $(BENCH_SWEEP_FLAGS) ./internal/runner >> /tmp/bench-raw.txt
-	go run ./cmd/benchgate -baseline BENCH_sim.json < /tmp/bench-raw.txt
+	go run ./cmd/benchgate -filter '$(GATE_FILTER)' -baseline BENCH_sim.json < /tmp/bench-raw.txt
+
+# Run the simd service in the foreground with a disk cache tier.
+serve:
+	go run ./cmd/simd -addr $(SIMD_ADDR) -cache-dir /tmp/simd-cache
+
+# Load-test a running `make serve` and gate its throughput against the
+# committed BenchmarkSimdLoad baseline, the same check the CI service
+# job runs.
+loadtest:
+	go run ./cmd/simload $(SIMLOAD_FLAGS) > /tmp/simload-raw.txt
+	go run ./cmd/benchgate -filter '$(LOAD_FILTER)' -baseline BENCH_sim.json < /tmp/simload-raw.txt
+
+# Refresh the committed BenchmarkSimdLoad baseline from a running
+# `make serve`, keeping the in-process benchmark entries intact.
+loadtest-baseline:
+	go run ./cmd/simload $(SIMLOAD_FLAGS) > /tmp/simload-raw.txt
+	go run ./cmd/benchgate -filter '$(LOAD_FILTER)' -merge BENCH_sim.json -out BENCH_sim.json < /tmp/simload-raw.txt

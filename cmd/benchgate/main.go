@@ -15,6 +15,15 @@
 //	go test -run '^$' -bench '...' -benchtime=100x -count=6 ... | benchgate -out BENCH_sim.json
 //	go test ... | benchgate -baseline BENCH_sim.json [-out bench-current.json] [-max-ratio 1.30]
 //	benchgate -baseline BENCH_sim.json -current bench-current.json
+//	simload ... | benchgate -filter '^BenchmarkSimdLoad' -baseline BENCH_sim.json
+//	simload ... | benchgate -merge BENCH_sim.json -out BENCH_sim.json
+//
+// -filter restricts both the current results and the baseline to
+// matching names, so a CI leg that runs only part of the benchmark
+// set can gate against the shared baseline without tripping MISSING
+// failures for the rest. -merge overlays the current results onto an
+// existing snapshot before -out writes it, refreshing one leg's
+// numbers while keeping the other's.
 //
 // With -baseline, benchgate exits 1 if any baseline benchmark is
 // missing from the current run or regressed by more than the ratio
@@ -152,6 +161,42 @@ func Compare(w io.Writer, base, cur Snapshot, maxRatio float64) []string {
 	return failures
 }
 
+// Filter returns a copy of s keeping only the benchmarks whose name
+// matches re. The CI legs measure disjoint benchmark sets (the in-
+// process benches vs the service load test) against the one committed
+// baseline; each leg filters the baseline to the names it actually
+// ran, so neither fails the other's entries as MISSING.
+func Filter(s Snapshot, re *regexp.Regexp) Snapshot {
+	out := Snapshot{Schema: s.Schema, Note: s.Note, CPU: s.CPU, Benchmarks: map[string]Entry{}}
+	for name, e := range s.Benchmarks {
+		if re.MatchString(name) {
+			out.Benchmarks[name] = e
+		}
+	}
+	return out
+}
+
+// Merge overlays cur's benchmarks onto old: names present in cur win,
+// the rest of old's entries survive. CPU and note come from cur when
+// set, else old — so a partial refresh (one leg's benches) keeps the
+// other leg's committed numbers and metadata intact.
+func Merge(old, cur Snapshot) Snapshot {
+	out := Snapshot{Schema: Schema, Note: cur.Note, CPU: cur.CPU, Benchmarks: map[string]Entry{}}
+	if out.Note == "" {
+		out.Note = old.Note
+	}
+	if out.CPU == "" {
+		out.CPU = old.CPU
+	}
+	for name, e := range old.Benchmarks {
+		out.Benchmarks[name] = e
+	}
+	for name, e := range cur.Benchmarks {
+		out.Benchmarks[name] = e
+	}
+	return out
+}
+
 func readSnapshot(path string) (Snapshot, error) {
 	var s Snapshot
 	data, err := os.ReadFile(path)
@@ -180,6 +225,8 @@ func main() {
 	baseline := flag.String("baseline", "", "gate against this committed snapshot (exit 1 on regression)")
 	current := flag.String("current", "", "read the current run from this snapshot JSON instead of parsing stdin")
 	maxRatio := flag.Float64("max-ratio", 1.30, "fail when current/baseline exceeds this ratio")
+	filter := flag.String("filter", "", "keep only benchmarks matching this regexp, in both current and baseline")
+	merge := flag.String("merge", "", "overlay the current results onto this snapshot before writing -out")
 	cpuMismatch := flag.String("cpu-mismatch", "fail",
 		"what a regression means when baseline and current CPUs differ: fail, or warn (report but exit 0 — ratios across machine classes are not code regressions)")
 	note := flag.String("note", "regenerate with `make bench-baseline` on the reference machine; gated by the CI bench leg",
@@ -206,6 +253,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	var filterRE *regexp.Regexp
+	if *filter != "" {
+		filterRE, err = regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: bad -filter:", err)
+			os.Exit(2)
+		}
+		cur = Filter(cur, filterRE)
+	}
+	if *merge != "" {
+		old, err := readSnapshot(*merge)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cur = Merge(old, cur)
+	}
+
 	if *out != "" {
 		if err := writeSnapshot(*out, cur); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -219,6 +284,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		if filterRE != nil {
+			base = Filter(base, filterRE)
 		}
 		failures := Compare(os.Stdout, base, cur, *maxRatio)
 		if len(failures) > 0 {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -93,6 +94,50 @@ func TestCompareRegressionFails(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "REGRESSED") {
 		t.Error("table does not flag the regression")
+	}
+}
+
+func TestFilterKeepsMatchingNames(t *testing.T) {
+	s := snap(map[string]float64{
+		"BenchmarkArbiter/procs=2": 100,
+		"BenchmarkSimdLoad/workers=8": 500,
+	})
+	s.CPU = "test cpu"
+	got := Filter(s, regexp.MustCompile(`^BenchmarkSimdLoad`))
+	if len(got.Benchmarks) != 1 {
+		t.Fatalf("filtered to %d entries, want 1", len(got.Benchmarks))
+	}
+	if _, ok := got.Benchmarks["BenchmarkSimdLoad/workers=8"]; !ok {
+		t.Error("matching entry dropped")
+	}
+	if got.CPU != "test cpu" {
+		t.Error("metadata not carried through the filter")
+	}
+	if len(s.Benchmarks) != 2 {
+		t.Error("Filter mutated its input")
+	}
+}
+
+func TestMergeOverlaysCurrentOntoOld(t *testing.T) {
+	old := snap(map[string]float64{"a": 100, "b": 200})
+	old.CPU, old.Note = "old cpu", "old note"
+	cur := snap(map[string]float64{"b": 150, "c": 7})
+	got := Merge(old, cur)
+	if got.Benchmarks["a"].NsPerOp != 100 {
+		t.Error("entry only in old was lost")
+	}
+	if got.Benchmarks["b"].NsPerOp != 150 {
+		t.Error("current entry did not override old")
+	}
+	if got.Benchmarks["c"].NsPerOp != 7 {
+		t.Error("entry only in current was lost")
+	}
+	if got.CPU != "old cpu" || got.Note != "old note" {
+		t.Errorf("empty current metadata should keep old's; got cpu=%q note=%q", got.CPU, got.Note)
+	}
+	cur.CPU = "new cpu"
+	if Merge(old, cur).CPU != "new cpu" {
+		t.Error("set current CPU should win over old")
 	}
 }
 

@@ -5,7 +5,7 @@
 // to the corresponding command (cmd/table1..5, cmd/ablate
 // -sweep=memory), so the existing golden fixtures are the contract.
 //
-//	scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] [-trace dir] [-obs] <file|dir|dir/...>...
+//	scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] [-trace dir] [-obs] [-metrics-addr a] <file|dir|dir/...>...
 //	scenario validate <file|dir|dir/...>...
 //	scenario list <file|dir|dir/...>...
 //	scenario trace-summary [-top N] <trace.json>...
@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -131,7 +133,7 @@ parsed:
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   scenario [-cpuprofile f] [-memprofile f] <command> ...
-  scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] [-trace dir] [-obs] <file|dir|dir/...>...
+  scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] [-trace dir] [-obs] [-metrics-addr a] <file|dir|dir/...>...
   scenario validate <file|dir|dir/...>...
   scenario list <file|dir|dir/...>...
   scenario trace-summary [-top N] <trace.json>...`)
@@ -146,6 +148,10 @@ type runOpts struct {
 	metrics  bool   // print the flattened metrics after each rendering
 	traceDir string // force trace: true; write <traceDir>/<name>.trace.json
 	obs      bool   // print the metrics registry (Prometheus text) at the end
+	// metricsAddr serves the process registry over HTTP at /metrics for
+	// the run's duration — the same handler cmd/simd mounts, so a
+	// scraper pointed at a long sweep sees the same series names.
+	metricsAddr string
 }
 
 func runCmd(ctx context.Context, w io.Writer, args []string) error {
@@ -158,6 +164,7 @@ func runCmd(ctx context.Context, w io.Writer, args []string) error {
 	fs.BoolVar(&opts.metrics, "metrics", false, "print the flattened metrics after each rendering")
 	fs.StringVar(&opts.traceDir, "trace", "", "record the simulated-time trace of every scenario into <dir>/<name>.trace.json")
 	fs.BoolVar(&opts.obs, "obs", false, "print the process metrics registry (Prometheus text format) after the outcomes")
+	fs.StringVar(&opts.metricsAddr, "metrics-addr", "", "serve /metrics on this address for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,6 +181,14 @@ func runCmd(ctx context.Context, w io.Writer, args []string) error {
 // scenarios run (and their outputs land in -out) before the
 // accumulated violations fail the invocation.
 func run(ctx context.Context, w io.Writer, files []string, opts runOpts) error {
+	if opts.metricsAddr != "" {
+		url, stop, err := serveMetrics(opts.metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(w, "metrics: %s\n\n", url)
+	}
 	if opts.outDir != "" {
 		if err := os.MkdirAll(opts.outDir, 0o755); err != nil {
 			return err
@@ -250,6 +265,22 @@ func run(ctx context.Context, w io.Writer, files []string, opts runOpts) error {
 			len(violated), strings.Join(violated, "\n  "))
 	}
 	return nil
+}
+
+// serveMetrics exposes the process registry at /metrics on addr — the
+// same handler cmd/simd mounts — until stop is called. `scenario run
+// -metrics-addr` uses it so a scraper pointed at a long sweep sees
+// live series under the same names the run service exports.
+func serveMetrics(addr string) (url string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Handler(obs.Default()))
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(ln)
+	return fmt.Sprintf("http://%s/metrics", ln.Addr()), func() { hs.Close() }, nil
 }
 
 // bytesEventCount counts the recorded trace events (one per line

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"flag"
+	"io"
+	"net/http"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/golden"
 	"repro/internal/raceflag"
 )
@@ -105,7 +108,7 @@ func TestValidateTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, "14 scenario(s) valid") {
+	if !strings.Contains(out, "17 scenario(s) valid") {
 		t.Errorf("validate output:\n%s", out)
 	}
 	for _, f := range []string{"table1.yaml", "nightly/memory.yaml"} {
@@ -125,5 +128,51 @@ func TestListScenarios(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("list output missing %q:\n%s", want, buf.String())
 		}
+	}
+}
+
+// TestMetricsAddrServes checks the -metrics-addr endpoint: the served
+// page is the process registry in Prometheus text format, including
+// the cache-tier gauge family the service job scrapes.
+func TestMetricsAddrServes(t *testing.T) {
+	url, stop, err := serveMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// Touch the cache so its series exist before the scrape.
+	cache.New(2).PutSized(cache.KeyOf([]byte("metrics-addr-test")), 1, 3)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `repro_cache_bytes{tier="memory"} `) {
+		t.Errorf("scrape missing the cache bytes gauge:\n%s", body)
+	}
+}
+
+// TestRunPrintsMetricsURL checks the run command announces where the
+// registry is being served when -metrics-addr is set.
+func TestRunPrintsMetricsURL(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), &buf,
+		[]string{"../../scenarios/service/taskq.yaml"},
+		runOpts{metricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "metrics: http://") {
+		t.Errorf("run output does not announce the metrics URL:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,258 @@
+// simload drives a running simd instance (cmd/simd) with a spec
+// corpus and reports throughput and latency percentiles. It is the
+// load half of the CI service job: after a prime pass stores every
+// corpus result, the measured pass mixes cache hits with deliberate
+// misses (app specs re-submitted under fresh seeds, so each is a real
+// backend run) and prints a `go test -bench`-shaped summary line that
+// cmd/benchgate parses, letting BENCH_sim.json gate service
+// throughput exactly like the in-process benchmarks.
+//
+//	simload [-addr http://127.0.0.1:7077] [-corpus scenarios/service]
+//	        [-workers N] [-requests N] [-miss ratio] [-wait-ready d]
+//
+// Exit status is non-zero if any request fails, so the CI job cannot
+// pass on a service that sheds or errors under the configured load.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+type spec struct {
+	path string
+	raw  []byte
+	// missable: an app-experiment spec with no seed key, so appending
+	// a unique `seed:` line yields a distinct (uncached) request that
+	// still validates.
+	missable bool
+}
+
+func realMain() int {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:7077", "base URL of the simd service")
+		corpus    = flag.String("corpus", "scenarios/service", "directory of scenario specs to submit")
+		workers   = flag.Int("workers", 8, "concurrent request workers")
+		requests  = flag.Int("requests", 200, "total requests in the measured pass")
+		miss      = flag.Float64("miss", 0.25, "fraction of requests forced to be cache misses (fresh seeds)")
+		waitReady = flag.Duration("wait-ready", 10*time.Second, "how long to poll /readyz before giving up")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("simload: ")
+
+	specs, err := loadCorpus(*corpus)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var missable []spec
+	for _, s := range specs {
+		if s.missable {
+			missable = append(missable, s)
+		}
+	}
+	if *miss > 0 && len(missable) == 0 {
+		log.Printf("corpus %s has no seedable app spec; -miss %g needs one to fabricate misses", *corpus, *miss)
+		return 1
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	base := strings.TrimRight(*addr, "/")
+	if err := pollReady(client, base, *waitReady); err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	// Prime pass: one synchronous run per corpus spec, so the measured
+	// pass hits a warm cache except where it deliberately misses.
+	primeStart := time.Now()
+	for _, s := range specs {
+		if _, err := post(client, base, s.raw); err != nil {
+			log.Printf("prime %s: %v", s.path, err)
+			return 1
+		}
+	}
+	log.Printf("primed %d specs in %v", len(specs), time.Since(primeStart).Round(time.Millisecond))
+
+	// The measured pass. Request i is derived from the counter alone,
+	// so the hit/miss mix is deterministic for a given flag set: every
+	// missPeriod-th request re-submits a missable spec under a seed no
+	// other request uses.
+	missPeriod := 0
+	if *miss > 0 {
+		missPeriod = int(1 / *miss)
+		if missPeriod < 1 {
+			missPeriod = 1
+		}
+	}
+	bodyFor := func(i int) []byte {
+		if missPeriod > 0 && i%missPeriod == 0 {
+			s := missable[i%len(missable)]
+			return append(bytes.Clone(s.raw), fmt.Sprintf("seed: %d\n", 1_000_000+i)...)
+		}
+		return specs[i%len(specs)].raw
+	}
+
+	lat := make([]time.Duration, *requests)
+	var next, failed atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	loadStart := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				start := time.Now()
+				if _, err := post(client, base, bodyFor(i)); err != nil {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("request %d: %w", i, err))
+				}
+				lat[i] = time.Since(start)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(loadStart)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(lat)-1))
+		return lat[idx].Round(time.Microsecond)
+	}
+	log.Printf("%d requests, %d workers, %d errors in %v (%.1f req/s)",
+		*requests, *workers, failed.Load(), wall.Round(time.Millisecond),
+		float64(*requests)/wall.Seconds())
+	log.Printf("latency p50=%v p90=%v p99=%v max=%v",
+		pct(0.50), pct(0.90), pct(0.99), lat[len(lat)-1].Round(time.Microsecond))
+
+	// The benchgate-parseable summary: mean wall-clock ns per request
+	// at this worker count, under the same line grammar go test emits.
+	if cpu := cpuModel(); cpu != "" {
+		fmt.Printf("cpu: %s\n", cpu)
+	}
+	fmt.Printf("BenchmarkSimdLoad/workers=%d \t%8d\t%14.1f ns/op\n",
+		*workers, *requests, float64(wall.Nanoseconds())/float64(*requests))
+
+	if failed.Load() > 0 {
+		log.Printf("%d request(s) failed; first: %v", failed.Load(), firstErr.Load())
+		return 1
+	}
+	return 0
+}
+
+// loadCorpus reads and validates every spec in dir, using the same
+// loader the scenario engine does, so a corpus typo fails here rather
+// than as an opaque 400 from the service.
+func loadCorpus(dir string) ([]spec, error) {
+	paths, err := scenario.Files(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no scenario specs in %s", dir)
+	}
+	specs := make([]spec, 0, len(paths))
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		parsed, err := scenario.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		if !bytes.HasSuffix(raw, []byte("\n")) {
+			raw = append(raw, '\n')
+		}
+		specs = append(specs, spec{
+			path:     path,
+			raw:      raw,
+			missable: parsed.Experiment == "app" && !hasSeedKey(raw),
+		})
+	}
+	return specs, nil
+}
+
+func hasSeedKey(raw []byte) bool {
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "seed:") {
+			return true
+		}
+	}
+	return false
+}
+
+func pollReady(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("service at %s not ready after %v", base, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// post submits one spec synchronously (?wait=1) and returns the
+// response body; any status but 200 is an error, including 429 — a
+// shedding service fails the load test rather than passing it thin.
+func post(client *http.Client, base string, body []byte) ([]byte, error) {
+	resp, err := client.Post(base+"/v1/runs?wait=1", "application/x-yaml", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return data, nil
+}
+
+// cpuModel reads the machine's CPU model the way go test reports it,
+// so benchgate's cpu-mismatch check compares like with like.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok &&
+			strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}

@@ -136,9 +136,12 @@ type Result struct {
 	// and the capacity policy are about.
 	TableOrg string
 
-	// Final state for verification (global element order).
-	Forces []float64
-	X      []float64
+	// Final state for verification (global element order). Excluded
+	// from the JSON encoding: the bit-identity check runs at execution
+	// time (RunAllCtx), and a result served from the run service's
+	// disk tier carries the verified numbers, not the state vectors.
+	Forces []float64 `json:"-"`
+	X      []float64 `json:"-"`
 }
 
 // LockTotal merges the lock grid down to one cell in canonical

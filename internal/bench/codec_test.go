@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// codecRequests is a spread of requests covering every optional field
+// of the canonical grammar: canned params, app fields with knobs and
+// machine overrides, a sweep axis, and the budget axis.
+func codecRequests() map[string]RunRequest {
+	return map[string]RunRequest{
+		"table1": Table1Request(Table1Params{N: 512, Procs: 8, Steps: 10}),
+		"table4": Table4Request(Table4Params{Cities: 10, Items: 96, Procs: 4,
+			Depth: 4, Batch: 4, ItemBatch: 8}),
+		"memory+budget": MemoryRequest(MemorySweepParams{N: 512, Procs: 8}, []int{48, 16}),
+		"app": {Experiment: "app", App: "taskq", N: 64, Steps: 3, Seed: 7,
+			Procs: []int{2, 4}, Knobs: map[string]int{"batch": 8}},
+		"app+sweep+machine": {Experiment: "app", App: "moldyn", N: 256,
+			Procs: []int{4}, Knobs: map[string]int{"update_every": 20},
+			Machine: apps.Machine{LatencyUS: 200, BandwidthMBs: 40},
+			Sweep:   &SweepAxis{Axis: "latency_us", Values: []int{100, 500}}},
+	}
+}
+
+// TestDecodeCanonicalRoundTrip checks the decoder's contract: for
+// every request shape, decoding the canonical bytes yields a request
+// that re-encodes to the same bytes (and therefore the same key).
+func TestDecodeCanonicalRoundTrip(t *testing.T) {
+	for name, req := range codecRequests() {
+		canon := req.Canonical()
+		dec, err := DecodeCanonical(canon)
+		if err != nil {
+			t.Errorf("%s: DecodeCanonical: %v", name, err)
+			continue
+		}
+		if !canonEqual(req, dec) {
+			t.Errorf("%s: round trip changed the encoding:\n--- in ---\n%s--- out ---\n%s",
+				name, canon, dec.Canonical())
+		}
+		if dec.Key() != req.Key() {
+			t.Errorf("%s: round trip changed the content address", name)
+		}
+	}
+}
+
+// TestDecodeCanonicalRejectsMalformed checks the strict parser fails
+// loudly rather than guessing.
+func TestDecodeCanonicalRejectsMalformed(t *testing.T) {
+	good := string(Table1Request(Table1Params{N: 64, Procs: 2, Steps: 2}).Canonical())
+	bad := map[string]string{
+		"empty":            "",
+		"no header":        "experiment=table1\n",
+		"truncated":        "runrequest/v1\nexperiment=table1\n",
+		"no trailing nl":   good[:len(good)-1],
+		"trailing line":    good + "extra=1\n",
+		"non-numeric seed": "runrequest/v1\nexperiment=app\napp=taskq\nn=1\nsteps=1\nseed=x\n",
+	}
+	for name, s := range bad {
+		if _, err := DecodeCanonical([]byte(s)); err == nil {
+			t.Errorf("%s: DecodeCanonical accepted malformed input", name)
+		}
+	}
+}
+
+// TestResultCodecRoundTrip runs one tiny app experiment end-to-end
+// and checks (a) the JSON result codec round-trips, (b) the decoded
+// result renders byte-identically to the original through
+// PresentResult — the disk tier's cold-start contract — and (c)
+// SizeBytes is positive and matches the encoding it approximates.
+func TestResultCodecRoundTrip(t *testing.T) {
+	req := RunRequest{Experiment: "app", App: "taskq", N: 64, Procs: []int{2}}
+	res, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SizeBytes() != int64(len(payload)) {
+		t.Errorf("SizeBytes = %d, payload length = %d", res.SizeBytes(), len(payload))
+	}
+
+	dec, err := DecodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload2, err := EncodeResult(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, payload2) {
+		t.Error("result encoding not stable across a decode/encode cycle")
+	}
+
+	var orig, reread bytes.Buffer
+	if err := PresentResult(&orig, req, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := PresentResult(&reread, req, dec); err != nil {
+		t.Fatal(err)
+	}
+	if orig.String() != reread.String() {
+		t.Errorf("decoded result renders differently:\n--- original ---\n%s--- decoded ---\n%s",
+			orig.String(), reread.String())
+	}
+	if orig.Len() == 0 {
+		t.Error("PresentResult rendered nothing")
+	}
+}
+
+// TestPresentResultMismatch checks the dispatch refuses a request /
+// result experiment mismatch instead of rendering garbage.
+func TestPresentResultMismatch(t *testing.T) {
+	req := Table1Request(Table1Params{N: 64, Procs: 2, Steps: 2})
+	res := &RunResult{Experiment: "table2"}
+	var buf bytes.Buffer
+	if err := PresentResult(&buf, req, res); err == nil {
+		t.Error("PresentResult accepted a mismatched experiment")
+	}
+}

@@ -31,7 +31,15 @@ var (
 	mMisses    = obs.Default().Counter("repro_cache_misses_total", "Result-cache lookups that fell through to execution.")
 	mEvictions = obs.Default().Counter("repro_cache_evictions_total", "Result-cache entries displaced by LRU pressure.")
 	mEntries   = obs.Default().Gauge("repro_cache_entries", "Result-cache entries currently resident, all instances.")
+	mBytes     = obs.Default().GaugeVec("repro_cache_bytes",
+		"Resident result-cache bytes by tier (approximate for the memory tier, file bytes for disk).", "tier")
+	memBytes = mBytes.With("memory")
 )
+
+// TierBytesGauge returns the shared repro_cache_bytes series for a
+// tier; the disk tier (internal/cache/disk) reports through it so both
+// tiers land under one metric family.
+func TierBytesGauge(tier string) *obs.Gauge { return mBytes.With(tier) }
 
 // Key is a content address: the SHA-256 of a canonical encoding.
 type Key [sha256.Size]byte
@@ -53,11 +61,13 @@ type Stats struct {
 	Evictions int64
 	Entries   int
 	Capacity  int
+	Bytes     int64 // sum of PutSized sizes currently resident
 }
 
 type entry struct {
-	key Key
-	val any
+	key  Key
+	val  any
+	size int64
 }
 
 // LRU is a fixed-capacity least-recently-used cache. All methods are
@@ -70,6 +80,7 @@ type LRU struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	bytes     int64
 }
 
 // New builds an LRU holding at most capacity entries; New panics on a
@@ -102,24 +113,42 @@ func (c *LRU) Get(k Key) (any, bool) {
 // Put inserts or refreshes a value, evicting the least-recently-used
 // entry when the cache is full. Storing under the same key replaces
 // the value (with content addressing the two are the same result, so
-// this only happens when two computations of one key race).
+// this only happens when two computations of one key race). The entry
+// is accounted as zero bytes; use PutSized when the value's size is
+// known so the repro_cache_bytes gauge means something.
 func (c *LRU) Put(k Key, v any) {
+	c.PutSized(k, v, 0)
+}
+
+// PutSized is Put with the value's approximate resident size attached,
+// feeding Stats.Bytes and the memory-tier repro_cache_bytes gauge.
+// Capacity is still counted in entries, not bytes — the size is
+// accounting, not an eviction policy.
+func (c *LRU) PutSized(k Key, v any, size int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*entry).val = v
+		e := el.Value.(*entry)
+		c.bytes += size - e.size
+		memBytes.Add(float64(size - e.size))
+		e.val, e.size = v, size
 		return
 	}
 	if c.ll.Len() >= c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
+		old := oldest.Value.(*entry)
+		delete(c.items, old.key)
+		c.bytes -= old.size
+		memBytes.Add(-float64(old.size))
 		c.evictions++
 		mEvictions.Inc()
 		mEntries.Dec()
 	}
-	c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
+	c.items[k] = c.ll.PushFront(&entry{key: k, val: v, size: size})
+	c.bytes += size
+	memBytes.Add(float64(size))
 	mEntries.Inc()
 }
 
@@ -140,5 +169,6 @@ func (c *LRU) Stats() Stats {
 		Evictions: c.evictions,
 		Entries:   c.ll.Len(),
 		Capacity:  c.cap,
+		Bytes:     c.bytes,
 	}
 }

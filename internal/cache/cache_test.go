@@ -1,6 +1,11 @@
 package cache
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
 
 func key(s string) Key { return KeyOf([]byte(s)) }
 
@@ -68,6 +73,41 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
 		t.Errorf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+}
+
+// TestBytesAccounting checks PutSized feeds Stats.Bytes through
+// insert, same-key replacement, and eviction.
+func TestBytesAccounting(t *testing.T) {
+	c := New(2)
+	c.PutSized(key("a"), "va", 100)
+	c.PutSized(key("b"), "vb", 30)
+	if got := c.Stats().Bytes; got != 130 {
+		t.Errorf("Bytes = %d after two inserts, want 130", got)
+	}
+	c.PutSized(key("b"), "vb2", 50) // replacement: delta, not sum
+	if got := c.Stats().Bytes; got != 150 {
+		t.Errorf("Bytes = %d after replacement, want 150", got)
+	}
+	c.PutSized(key("c"), "vc", 7) // evicts a (LRU), -100
+	if got := c.Stats().Bytes; got != 57 {
+		t.Errorf("Bytes = %d after eviction, want 57", got)
+	}
+	c.Put(key("d"), "vd") // plain Put accounts zero bytes; evicts b, -50
+	if got := c.Stats().Bytes; got != 7 {
+		t.Errorf("Bytes = %d after zero-sized insert, want 7", got)
+	}
+}
+
+// TestBytesGaugeExposed asserts the memory tier's repro_cache_bytes
+// series renders in the default registry's exposition — the scrape
+// contract the run service's /metrics endpoint relies on.
+func TestBytesGaugeExposed(t *testing.T) {
+	c := New(2)
+	c.PutSized(key("exposed"), "v", 11)
+	text := obs.Default().Text()
+	if !strings.Contains(text, `repro_cache_bytes{tier="memory"} `) {
+		t.Errorf("exposition missing the memory-tier bytes gauge:\n%s", text)
 	}
 }
 

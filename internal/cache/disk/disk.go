@@ -1,0 +1,343 @@
+// Package disk is the result cache's second tier (DESIGN.md §14): a
+// content-addressed store of (canonical request, encoded result)
+// pairs as files under a root directory, sitting behind the memory
+// LRU of internal/cache. The same determinism argument carries over —
+// a file's payload is a pure function of the canonical bytes it is
+// stored with, so entries are immutable and coherence needs no
+// invalidation, only eviction. What disk adds is survival: a process
+// restart (or a cold service start) finds the files and serves them
+// without re-running anything, which the read-path integrity check
+// makes safe — a file only counts as a hit if its canonical bytes
+// re-hash to the key it is filed under and its payload matches the
+// recorded digest; anything else is deleted and reported as a miss.
+package disk
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// Registry metrics, aggregated across every Store in the process,
+// mirroring the memory tier's set. Bytes reports through the shared
+// repro_cache_bytes family under tier="disk".
+var (
+	mHits      = obs.Default().Counter("repro_disk_hits_total", "Disk-tier lookups served from a verified file.")
+	mMisses    = obs.Default().Counter("repro_disk_misses_total", "Disk-tier lookups that found no (valid) file.")
+	mEvictions = obs.Default().Counter("repro_disk_evictions_total", "Disk-tier entries removed by size pressure.")
+	mEntries   = obs.Default().Gauge("repro_disk_entries", "Disk-tier entries currently resident, all stores.")
+	diskBytes  = cache.TierBytesGauge("disk")
+)
+
+// fileSuffix names the store's files: <64 hex key chars>.run.
+const fileSuffix = ".run"
+
+// header is the file format's first line. The canonical bytes and the
+// payload follow back to back; the payload digest makes the result
+// half of the file self-verifying (the request half verifies against
+// the filename key by re-hashing).
+const headerFmt = "reprodisk/v1 %d %d %s\n"
+
+// Stats is the store's counter snapshot.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64 // 0 = unbounded
+}
+
+type entry struct {
+	key  cache.Key
+	size int64
+}
+
+// Store is a size-bounded content-addressed file store. All methods
+// are safe for concurrent use. Recency is tracked in memory and
+// mirrored to file mtimes (best effort) so a reopened store restores
+// the LRU order.
+type Store struct {
+	mu        sync.Mutex
+	dir       string
+	maxBytes  int64
+	order     []*entry // index 0 = least recently used
+	items     map[cache.Key]*entry
+	bytes     int64
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// Open creates (if needed) and scans the store's root directory,
+// adopting every well-named file already there — the warm-start path.
+// File contents are verified lazily on Get, not here, so opening a
+// large store is one ReadDir, not a full re-hash. maxBytes <= 0 means
+// unbounded.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: opening store: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, items: map[cache.Key]*entry{}}
+
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("disk: scanning store: %w", err)
+	}
+	type found struct {
+		e     *entry
+		mtime time.Time
+	}
+	var fs []found
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, fileSuffix) {
+			continue
+		}
+		hexKey := strings.TrimSuffix(name, fileSuffix)
+		raw, err := hex.DecodeString(hexKey)
+		if err != nil || len(raw) != sha256.Size {
+			continue // not ours; leave it alone
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		var k cache.Key
+		copy(k[:], raw)
+		fs = append(fs, found{&entry{key: k, size: info.Size()}, info.ModTime()})
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].mtime.Before(fs[j].mtime) })
+	for _, f := range fs {
+		s.order = append(s.order, f.e)
+		s.items[f.e.key] = f.e
+		s.bytes += f.e.size
+	}
+	mEntries.Add(float64(len(fs)))
+	diskBytes.Add(float64(s.bytes))
+	s.evictOver()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(k cache.Key) string {
+	return filepath.Join(s.dir, k.String()+fileSuffix)
+}
+
+// touch moves e to the most-recently-used end.
+func (s *Store) touch(e *entry) {
+	for i, o := range s.order {
+		if o == e {
+			s.order = append(append(s.order[:i:i], s.order[i+1:]...), e)
+			return
+		}
+	}
+	s.order = append(s.order, e)
+}
+
+// remove drops e from the index and deletes its file, crediting the
+// counters the caller names.
+func (s *Store) remove(e *entry) {
+	for i, o := range s.order {
+		if o == e {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	delete(s.items, e.key)
+	s.bytes -= e.size
+	diskBytes.Add(-float64(e.size))
+	mEntries.Dec()
+	os.Remove(s.path(e.key))
+}
+
+// evictOver removes least-recently-used entries until the store fits
+// its byte budget, always sparing the most recent entry (a single
+// oversized result is better kept than thrashed).
+func (s *Store) evictOver() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes && len(s.order) > 1 {
+		s.remove(s.order[0])
+		s.evictions++
+		mEvictions.Inc()
+	}
+}
+
+// Put stores a (canonical, payload) pair under its content address.
+// The key is recomputed from the canonical bytes — a caller cannot
+// file a result under a key it does not hash to. Writes go through a
+// temp file and an atomic rename, so a crash mid-write leaves either
+// the old file or none, never a torn one.
+func (s *Store) Put(canonical, payload []byte) (cache.Key, error) {
+	k := cache.KeyOf(canonical)
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf(headerFmt, len(canonical), len(payload), hex.EncodeToString(sum[:]))
+	buf := make([]byte, 0, len(header)+len(canonical)+len(payload))
+	buf = append(buf, header...)
+	buf = append(buf, canonical...)
+	buf = append(buf, payload...)
+
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return k, fmt.Errorf("disk: writing entry: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return k, fmt.Errorf("disk: writing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return k, fmt.Errorf("disk: writing entry: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path(k)); err != nil {
+		os.Remove(tmpName)
+		return k, fmt.Errorf("disk: writing entry: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[k]; ok {
+		// Same content address, same bytes (determinism): only the
+		// recency and the accounted size can change.
+		s.bytes += int64(len(buf)) - e.size
+		diskBytes.Add(float64(int64(len(buf)) - e.size))
+		e.size = int64(len(buf))
+		s.touch(e)
+		return k, nil
+	}
+	e := &entry{key: k, size: int64(len(buf))}
+	s.items[k] = e
+	s.order = append(s.order, e)
+	s.bytes += e.size
+	diskBytes.Add(float64(e.size))
+	mEntries.Inc()
+	s.evictOver()
+	return k, nil
+}
+
+// Get returns the verified (canonical, payload) pair for a key. A
+// missing file is a plain miss; a file that fails any integrity check
+// (header shape, canonical re-hash, payload digest) is deleted and
+// reported as a miss — the §7 determinism contract means a valid
+// entry can always be regenerated by simply re-running the request.
+func (s *Store) Get(k cache.Key) (canonical, payload []byte, ok bool) {
+	s.mu.Lock()
+	e, known := s.items[k]
+	s.mu.Unlock()
+	if !known {
+		s.miss()
+		return nil, nil, false
+	}
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		s.drop(e)
+		return nil, nil, false
+	}
+	canonical, payload, err = parseEntry(k, raw)
+	if err != nil {
+		s.drop(e)
+		return nil, nil, false
+	}
+
+	s.mu.Lock()
+	s.hits++
+	s.touch(e)
+	s.mu.Unlock()
+	mHits.Inc()
+	// Mirror recency to the filesystem so a reopened store restores
+	// the LRU order; purely advisory, so the error is ignored.
+	now := time.Now()
+	os.Chtimes(s.path(k), now, now)
+	return canonical, payload, true
+}
+
+// miss counts a lookup that found nothing.
+func (s *Store) miss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+	mMisses.Inc()
+}
+
+// drop removes a corrupt or unreadable entry and counts a miss. The
+// pointer comparison guards against a racing Put that has already
+// replaced the entry under the same key — the fresh entry (and its
+// freshly-written file) must survive.
+func (s *Store) drop(e *entry) {
+	s.mu.Lock()
+	if cur, still := s.items[e.key]; still && cur == e {
+		s.remove(e)
+	}
+	s.misses++
+	s.mu.Unlock()
+	mMisses.Inc()
+}
+
+// parseEntry validates a file against the key it is filed under.
+func parseEntry(k cache.Key, raw []byte) (canonical, payload []byte, err error) {
+	nl := -1
+	for i, c := range raw {
+		if c == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, nil, fmt.Errorf("disk: missing header line")
+	}
+	var canonLen, payloadLen int
+	var digest string
+	n, err := fmt.Sscanf(string(raw[:nl]), "reprodisk/v1 %d %d %s", &canonLen, &payloadLen, &digest)
+	if err != nil || n != 3 {
+		return nil, nil, fmt.Errorf("disk: malformed header")
+	}
+	body := raw[nl+1:]
+	if canonLen < 0 || payloadLen < 0 || len(body) != canonLen+payloadLen {
+		return nil, nil, fmt.Errorf("disk: length mismatch")
+	}
+	canonical, payload = body[:canonLen], body[canonLen:]
+	if cache.KeyOf(canonical) != k {
+		return nil, nil, fmt.Errorf("disk: canonical bytes do not hash to the filename key")
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != digest {
+		return nil, nil, fmt.Errorf("disk: payload digest mismatch")
+	}
+	return canonical, payload, nil
+}
+
+// Len returns the current entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Entries:   len(s.order),
+		Bytes:     s.bytes,
+		MaxBytes:  s.maxBytes,
+	}
+}

@@ -1,0 +1,238 @@
+package disk
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// pair fabricates a (canonical, payload) entry; the canonical bytes
+// only need to be distinct, not real request encodings — the store is
+// deliberately byte-level.
+func pair(tag string) (canonical, payload []byte) {
+	return []byte("runrequest/v1\nexperiment=" + tag + "\n"), []byte(`{"payload":"` + tag + `"}`)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, payload := pair("a")
+	k, err := s.Put(canon, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != cache.KeyOf(canon) {
+		t.Error("Put returned a key the canonical bytes do not hash to")
+	}
+	gc, gp, ok := s.Get(k)
+	if !ok {
+		t.Fatal("Get missed a just-stored entry")
+	}
+	if string(gc) != string(canon) || string(gp) != string(payload) {
+		t.Errorf("round trip changed bytes: canonical %q payload %q", gc, gp)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Errorf("stats after one put+get: %+v", st)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(cache.KeyOf([]byte("absent"))); ok {
+		t.Fatal("Get hit on an empty store")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+}
+
+// TestCorruptEntryDroppedAsMiss tampers with a stored file and checks
+// the integrity gate: the read reports a miss and deletes the file.
+func TestCorruptEntryDroppedAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, payload := pair("a")
+	k, err := s.Put(canon, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.String()+fileSuffix)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // flip a payload byte; the digest check must catch it
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(k); ok {
+		t.Fatal("Get served a tampered entry")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("tampered file was not deleted")
+	}
+	if s.Len() != 0 {
+		t.Errorf("entries = %d after dropping the only entry", s.Len())
+	}
+}
+
+// TestEvictionOrder fills past the byte budget and checks the least
+// recently used entries go first, with a Get refreshing recency.
+func TestEvictionOrder(t *testing.T) {
+	s, err := Open(t.TempDir(), 1) // every put over-budget; sparing the newest leaves exactly one
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, pa := pair("a")
+	ka, _ := s.Put(ca, pa)
+	cb, pb := pair("b")
+	kb, _ := s.Put(cb, pb)
+	if s.Len() != 1 {
+		t.Fatalf("entries = %d under a 1-byte budget, want 1", s.Len())
+	}
+	if _, _, ok := s.Get(ka); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, _, ok := s.Get(kb); !ok {
+		t.Error("newest entry was evicted")
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	ca, pa := pair("a")
+	cb, pb := pair("b")
+	cc, pc := pair("c")
+	budget := int64(2 * (len("reprodisk/v1 00 00 \n") + 64 + len(ca) + len(pa) + 8))
+	s, err := Open(t.TempDir(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, _ := s.Put(ca, pa)
+	kb, _ := s.Put(cb, pb)
+	if s.Len() != 2 {
+		t.Fatalf("budget %d does not hold two entries (got %d); fix the test arithmetic", budget, s.Len())
+	}
+	s.Get(ka) // a is now most recent; b should evict when c arrives
+	kc, _ := s.Put(cc, pc)
+	if _, _, ok := s.Get(kb); ok {
+		t.Error("least recently used entry b survived")
+	}
+	for _, k := range []cache.Key{ka, kc} {
+		if _, _, ok := s.Get(k); !ok {
+			t.Errorf("entry %s was evicted despite being recent", k)
+		}
+	}
+}
+
+// TestReopenRestoresEntries is the cold-start contract: a new Store
+// over an existing directory serves every stored entry with verified
+// bytes, in the recency order the mtimes recorded.
+func TestReopenRestoresEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, pa := pair("a")
+	cb, pb := pair("b")
+	ka, _ := s.Put(ca, pa)
+	kb, _ := s.Put(cb, pb)
+	// Pin distinct mtimes (filesystem granularity would otherwise tie):
+	// a older than b.
+	old := time.Now().Add(-2 * time.Hour)
+	os.Chtimes(filepath.Join(dir, ka.String()+fileSuffix), old, old)
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store has %d entries, want 2", s2.Len())
+	}
+	gc, gp, ok := s2.Get(ka)
+	if !ok || string(gc) != string(ca) || string(gp) != string(pa) {
+		t.Errorf("reopened store served wrong bytes for a: ok=%v", ok)
+	}
+	if _, _, ok := s2.Get(kb); !ok {
+		t.Error("reopened store missed b")
+	}
+
+	// A third store with a budget for one entry must evict the older
+	// file (a) during the opening scan.
+	oneBudget := s2.Stats().Bytes/2 + 1
+	s3, err := Open(dir, oneBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 1 {
+		t.Fatalf("budgeted reopen kept %d entries, want 1", s3.Len())
+	}
+	if _, _, ok := s3.Get(kb); !ok {
+		t.Error("budgeted reopen evicted the newer entry instead of the older")
+	}
+}
+
+// TestDiskSeriesExposed asserts the disk tier's metric series —
+// including its leg of the shared repro_cache_bytes family — render
+// in the default registry's exposition.
+func TestDiskSeriesExposed(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, payload := pair("exposed")
+	k, _ := s.Put(canon, payload)
+	s.Get(k)
+	s.Get(cache.KeyOf([]byte("never stored")))
+	text := obs.Default().Text()
+	for _, want := range []string{
+		`repro_cache_bytes{tier="disk"} `,
+		"repro_disk_hits_total ",
+		"repro_disk_misses_total ",
+		"repro_disk_evictions_total ",
+		"repro_disk_entries ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestOpenIgnoresForeignFiles checks the scan adopts only files named
+// by a full hex key, leaving anything else untouched.
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a cache file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "short.run"), []byte("bad name"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("scan adopted %d foreign files", s.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Error("foreign file was touched")
+	}
+}

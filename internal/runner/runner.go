@@ -87,7 +87,7 @@ func (r *Runner) Do(ctx context.Context, req bench.RunRequest) (*bench.RunResult
 		return nil, err
 	}
 	if r.c != nil {
-		r.c.Put(key, res)
+		r.c.PutSized(key, res, res.SizeBytes())
 	}
 	return res, nil
 }

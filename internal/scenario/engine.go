@@ -223,24 +223,14 @@ func present(w io.Writer, spec *Spec, res *bench.RunResult) {
 
 // presentApp renders the generic app experiment: one table whose rows
 // are the spec's variant selection over every verified configuration.
+// The row/table formatting is shared with the run service's render
+// endpoint (bench.PresentAppRows); only the title and the variant
+// filter are scenario-level presentation state.
 func presentApp(w io.Writer, spec *Spec, res *bench.RunResult) {
 	want := map[string]bool{}
 	for _, v := range spec.Variants {
 		want[v] = true
 	}
-	tbl := &bench.Table{Title: fmt.Sprintf("Scenario %s: %s (N=%d).", spec.Name, spec.App, spec.N)}
-	for _, ar := range res.Apps {
-		for _, r := range ar.All() {
-			if !want[r.System] {
-				continue
-			}
-			tbl.Rows = append(tbl.Rows, bench.Row{
-				Config: ar.Config, System: r.System, TimeSec: r.TimeSec,
-				Speedup: r.Speedup, Messages: r.Messages, DataMB: r.DataMB,
-				Detail: r.Detail,
-			})
-		}
-	}
-	fmt.Fprint(w, tbl.String())
-	fmt.Fprintln(w, "\nAll parallel backends verified bit-identical to the sequential program.")
+	title := fmt.Sprintf("Scenario %s: %s (N=%d).", spec.Name, spec.App, spec.N)
+	bench.PresentAppRows(w, title, want, res)
 }

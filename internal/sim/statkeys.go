@@ -1,0 +1,60 @@
+// Text-key encodings for the statistics grid keys, so the structured
+// result record (bench.RunResult, which embeds the per-(lock, proc)
+// and per-(category, proc) grids) can flow through encoding/json —
+// the wire and disk-tier format of the run service. encoding/json
+// requires map keys to implement TextMarshaler, and sorts the encoded
+// keys, which also makes the serialized grids deterministic.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MarshalText encodes the key as "res/proc".
+func (k LockKey) MarshalText() ([]byte, error) {
+	return []byte(fmt.Sprintf("%d/%d", k.Res, k.Proc)), nil
+}
+
+// UnmarshalText decodes a "res/proc" key.
+func (k *LockKey) UnmarshalText(b []byte) error {
+	s := string(b)
+	i := strings.LastIndexByte(s, '/')
+	if i < 0 {
+		return fmt.Errorf("sim: malformed lock key %q", s)
+	}
+	res, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return fmt.Errorf("sim: malformed lock key %q: %v", s, err)
+	}
+	proc, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return fmt.Errorf("sim: malformed lock key %q: %v", s, err)
+	}
+	k.Res, k.Proc = res, proc
+	return nil
+}
+
+// MarshalText encodes the key as "cat/proc". Category names
+// (e.g. "chaos.data") contain no slash by convention; the decoder
+// splits on the last one so a future slash in a category would still
+// round-trip.
+func (k MemKey) MarshalText() ([]byte, error) {
+	return []byte(fmt.Sprintf("%s/%d", k.Cat, k.Proc)), nil
+}
+
+// UnmarshalText decodes a "cat/proc" key.
+func (k *MemKey) UnmarshalText(b []byte) error {
+	s := string(b)
+	i := strings.LastIndexByte(s, '/')
+	if i < 0 {
+		return fmt.Errorf("sim: malformed mem key %q", s)
+	}
+	proc, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return fmt.Errorf("sim: malformed mem key %q: %v", s, err)
+	}
+	k.Cat, k.Proc = s[:i], proc
+	return nil
+}

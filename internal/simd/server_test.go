@@ -1,0 +1,420 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/cache/disk"
+)
+
+// taskqSpec is the test corpus: a taskq run small enough to execute
+// for real in the end-to-end tests.
+const taskqSpec = `name: svc-test
+experiment: app
+app: taskq
+n: 64
+procs: [2]
+`
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/x-yaml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+func decodeStatus(t *testing.T, b []byte) runStatus {
+	t.Helper()
+	var st runStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("decoding %q: %v", b, err)
+	}
+	return st
+}
+
+// TestEndToEnd drives the whole API against a real (tiny) run: submit
+// with wait, re-fetch by address, render, and scrape /metrics.
+func TestEndToEnd(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := post(t, ts, "/v1/runs?wait=1", taskqSpec)
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	st := decodeStatus(t, body)
+	if st.Status != "done" || st.Result == nil || st.Experiment != "app" {
+		t.Fatalf("submit envelope: %+v", st)
+	}
+	if srv.Executed() != 1 {
+		t.Fatalf("executed = %d after one run", srv.Executed())
+	}
+
+	// A repeat submission is a pure cache hit: 200 immediately, no
+	// second execution, byte-identical result JSON.
+	code2, body2 := post(t, ts, "/v1/runs", taskqSpec)
+	if code2 != http.StatusOK {
+		t.Fatalf("repeat submit: %d %s", code2, body2)
+	}
+	if srv.Executed() != 1 {
+		t.Errorf("executed = %d after a cached repeat", srv.Executed())
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached submission returned different bytes")
+	}
+
+	code, body, _ = get(t, ts, "/v1/runs/"+st.Address)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, body)
+	}
+	if got := decodeStatus(t, body); got.Status != "done" || got.Result == nil {
+		t.Fatalf("status envelope: %+v", got)
+	}
+
+	code, rendered, hdr := get(t, ts, "/v1/runs/"+st.Address+"/render?view=app")
+	if code != http.StatusOK {
+		t.Fatalf("render: %d %s", code, rendered)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("render content type = %q", ct)
+	}
+	var want bytes.Buffer
+	req := bench.RunRequest{Experiment: "app", App: "taskq", N: 64, Procs: []int{2}}
+	if err := bench.PresentResult(&want, req, st.Result); err != nil {
+		t.Fatal(err)
+	}
+	if string(rendered) != want.String() {
+		t.Errorf("render differs from PresentResult:\n--- got ---\n%s--- want ---\n%s", rendered, want.String())
+	}
+
+	code, metrics, _ := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, series := range []string{
+		"repro_simd_requests_total", "repro_simd_runs_total",
+		"repro_cache_bytes", "repro_runner_request_seconds",
+	} {
+		if !strings.Contains(string(metrics), series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if code, _, _ := get(t, ts, path); code != http.StatusOK {
+			t.Errorf("%s = %d", path, code)
+		}
+	}
+}
+
+// TestCoalescing is the dedup contract: N concurrent submissions of
+// one request, exactly one backend execution, byte-identical bodies
+// for every waiter.
+func TestCoalescing(t *testing.T) {
+	const workers = 16
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv := New(Config{
+		Exec: func(ctx context.Context, req bench.RunRequest) (*bench.RunResult, error) {
+			close(started) // a second execution would close twice and panic
+			<-release
+			return &bench.RunResult{Experiment: req.Experiment,
+				Metrics: map[string]float64{"probe": 42}}, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	codes := make([]int, workers)
+	bodies := make([][]byte, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i] = post(t, ts, "/v1/runs?wait=1", taskqSpec)
+		}(i)
+	}
+	<-started
+	// Every submission must be in (joined or waiting) before the run
+	// finishes for the test to prove coalescing rather than caching;
+	// a short settle keeps the race window honest without a hook into
+	// the HTTP layer.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := srv.Executed(); got != 1 {
+		t.Fatalf("executed = %d for %d identical submissions, want 1", got, workers)
+	}
+	for i := 0; i < workers; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("worker %d: code %d body %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("worker %d received different bytes", i)
+		}
+	}
+}
+
+// TestDiskColdStart is the restart contract: a fresh server over a
+// warm disk directory serves the same submission byte-identically
+// with zero backend executions.
+func TestDiskColdStart(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := disk.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(Config{Disk: d1})
+	ts1 := httptest.NewServer(srv1)
+	code, warm := post(t, ts1, "/v1/runs?wait=1", taskqSpec)
+	ts1.Close()
+	if code != http.StatusOK {
+		t.Fatalf("warming run: %d %s", code, warm)
+	}
+	if srv1.Executed() != 1 {
+		t.Fatalf("warming executed = %d", srv1.Executed())
+	}
+
+	// Cold start: new process state (fresh memory tier, fresh server),
+	// same disk directory.
+	d2, err := disk.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(Config{Disk: d2})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	code, cold := post(t, ts2, "/v1/runs?wait=1", taskqSpec)
+	if code != http.StatusOK {
+		t.Fatalf("cold submit: %d %s", code, cold)
+	}
+	if got := srv2.Executed(); got != 0 {
+		t.Fatalf("cold start executed %d backend runs, want 0", got)
+	}
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("cold-start bytes differ from the original run:\n--- warm ---\n%s--- cold ---\n%s", warm, cold)
+	}
+
+	// The render path must also work from promoted disk state.
+	st := decodeStatus(t, cold)
+	if code, rendered, _ := get(t, ts2, "/v1/runs/"+st.Address+"/render"); code != http.StatusOK || len(rendered) == 0 {
+		t.Errorf("cold render: %d", code)
+	}
+}
+
+// TestLoadShedding fills the only run slot and checks the next
+// distinct submission is shed with 429 + Retry-After.
+func TestLoadShedding(t *testing.T) {
+	release := make(chan struct{})
+	srv := New(Config{
+		Slots: 1,
+		Exec: func(ctx context.Context, req bench.RunRequest) (*bench.RunResult, error) {
+			<-release
+			return &bench.RunResult{Experiment: req.Experiment}, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := post(t, ts, "/v1/runs", taskqSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", code, body)
+	}
+	other := strings.Replace(taskqSpec, "n: 64", "n: 128", 1)
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/x-yaml", strings.NewReader(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	// An identical submission coalesces instead of shedding: joining
+	// an inflight run needs no slot.
+	if code, body := post(t, ts, "/v1/runs", taskqSpec); code != http.StatusAccepted {
+		t.Errorf("identical submit during load = %d %s, want 202", code, body)
+	}
+	close(release)
+}
+
+// TestDrain starts a run, drains, and checks the drain waits for it
+// while new submissions and readiness flip to 503.
+func TestDrain(t *testing.T) {
+	release := make(chan struct{})
+	var finished atomic.Bool
+	srv := New(Config{
+		Exec: func(ctx context.Context, req bench.RunRequest) (*bench.RunResult, error) {
+			<-release
+			finished.Store(true)
+			return &bench.RunResult{Experiment: req.Experiment}, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if code, body := post(t, ts, "/v1/runs", taskqSpec); code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+
+	// Draining: not ready, not accepting.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if code, _, _ := get(t, ts, "/readyz"); code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	other := strings.Replace(taskqSpec, "n: 64", "n: 256", 1)
+	if code, _ := post(t, ts, "/v1/runs", other); code != http.StatusServiceUnavailable {
+		t.Errorf("submission during drain = %d, want 503", code)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned (%v) before the inflight run finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain never returned")
+	}
+	if !finished.Load() {
+		t.Error("drain returned before the run completed")
+	}
+}
+
+// TestValidation checks the request gate: malformed bodies, engine
+// flags, bad addresses, unknown runs.
+func TestValidation(t *testing.T) {
+	srv := New(Config{
+		Exec: func(ctx context.Context, req bench.RunRequest) (*bench.RunResult, error) {
+			return &bench.RunResult{Experiment: req.Experiment}, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty", "", http.StatusBadRequest},
+		{"unknown key", "name: x\nexperiment: table1\nbogus: 1\n", http.StatusBadRequest},
+		{"unknown experiment", "name: x\nexperiment: table9\n", http.StatusBadRequest},
+		{"trace flag", "name: x\nexperiment: app\napp: taskq\nn: 64\ntrace: true\n", http.StatusBadRequest},
+		{"repro flag", "name: x\nexperiment: table1\nrepro: true\n", http.StatusBadRequest},
+		{"assert bands", "name: x\nexperiment: table1\nassert:\n  - metric: m\n    min: 1\n", http.StatusBadRequest},
+		{"oversized", "name: x\n# " + strings.Repeat("a", MaxBodyBytes) + "\n", http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		if code, body := post(t, ts, "/v1/runs", tc.body); code != tc.want {
+			t.Errorf("%s: code %d body %s, want %d", tc.name, code, body, tc.want)
+		}
+	}
+	if srv.Executed() != 0 {
+		t.Errorf("executed = %d; invalid submissions must start nothing", srv.Executed())
+	}
+
+	if code, _, _ := get(t, ts, "/v1/runs/nothex"); code != http.StatusBadRequest {
+		t.Errorf("malformed address = %d, want 400", code)
+	}
+	absent := cache.KeyOf([]byte("absent")).String()
+	if code, _, _ := get(t, ts, "/v1/runs/"+absent); code != http.StatusNotFound {
+		t.Errorf("unknown address = %d, want 404", code)
+	}
+	if code, _, _ := get(t, ts, "/v1/runs/"+absent+"/render"); code != http.StatusNotFound {
+		t.Errorf("unknown render = %d, want 404", code)
+	}
+	// JSON bodies work too; mismatch between view and experiment is a 400.
+	code, body := post(t, ts, "/v1/runs?wait=1",
+		`{"name":"j","experiment":"app","app":"taskq","n":64,"procs":[2]}`)
+	if code != http.StatusOK {
+		t.Fatalf("JSON submit: %d %s", code, body)
+	}
+	st := decodeStatus(t, body)
+	if code, _, _ := get(t, ts, "/v1/runs/"+st.Address+"/render?view=table1"); code != http.StatusBadRequest {
+		t.Errorf("mismatched view = %d, want 400", code)
+	}
+}
+
+// TestFailedRunReported checks a failing backend surfaces as a 500
+// status and that a re-submission retries it.
+func TestFailedRunReported(t *testing.T) {
+	calls := 0
+	srv := New(Config{
+		Exec: func(ctx context.Context, req bench.RunRequest) (*bench.RunResult, error) {
+			calls++
+			if calls == 1 {
+				return nil, fmt.Errorf("synthetic failure")
+			}
+			return &bench.RunResult{Experiment: req.Experiment}, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := post(t, ts, "/v1/runs?wait=1", taskqSpec)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("failing run: %d %s", code, body)
+	}
+	st := decodeStatus(t, body)
+	if st.Status != "failed" || !strings.Contains(st.Error, "synthetic failure") {
+		t.Fatalf("failure envelope: %+v", st)
+	}
+	if code, _, _ := get(t, ts, "/v1/runs/"+st.Address); code != http.StatusInternalServerError {
+		t.Errorf("failed status = %d, want 500", code)
+	}
+	// Retry path: a fresh POST re-runs and succeeds.
+	if code, body := post(t, ts, "/v1/runs?wait=1", taskqSpec); code != http.StatusOK {
+		t.Errorf("retry: %d %s", code, body)
+	}
+}
