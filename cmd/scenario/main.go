@@ -5,7 +5,7 @@
 // to the corresponding command (cmd/table1..5, cmd/ablate
 // -sweep=memory), so the existing golden fixtures are the contract.
 //
-//	scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] [-trace dir] [-obs] [-metrics-addr a] <file|dir|dir/...>...
+//	scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics[=addr|-]] [-trace dir] <file|dir|dir/...>...
 //	scenario validate <file|dir|dir/...>...
 //	scenario list <file|dir|dir/...>...
 //	scenario trace-summary [-top N] <trace.json>...
@@ -17,11 +17,18 @@
 // the repro check finds a run-to-run difference, or when a spec fails
 // to load; validate exits non-zero on the first invalid spec.
 //
+// -metrics is the one observability flag, repeatable with different
+// forms: bare -metrics prints each scenario's flattened metrics after
+// its rendering; -metrics=- dumps the process metrics registry
+// (Prometheus text format) after the outcomes; -metrics=ADDR serves
+// that registry at http://ADDR/metrics for the run's duration (the
+// same handler cmd/simd mounts). The former -obs and -metrics-addr
+// spellings still work as deprecated aliases that warn on stderr.
+//
 // -trace <dir> records the deterministic simulated-time trace of every
 // scenario (DESIGN.md §13) and writes <dir>/<name>.trace.json — Chrome
-// trace-event JSON, loadable in Perfetto (ui.perfetto.dev). -obs dumps
-// the process metrics registry in Prometheus text format after the
-// outcomes. trace-summary reduces recorded traces to the top-N hottest
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev).
+// trace-summary reduces recorded traces to the top-N hottest
 // locks by wait time, longest barrier stalls, and busiest links.
 //
 // The profiling flags -cpuprofile/-memprofile (before the subcommand)
@@ -133,7 +140,7 @@ parsed:
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   scenario [-cpuprofile f] [-memprofile f] <command> ...
-  scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics] [-trace dir] [-obs] [-metrics-addr a] <file|dir|dir/...>...
+  scenario run [-j N] [-repro] [-procs N] [-out dir] [-metrics[=addr|-]] [-trace dir] <file|dir|dir/...>...
   scenario validate <file|dir|dir/...>...
   scenario list <file|dir|dir/...>...
   scenario trace-summary [-top N] <trace.json>...`)
@@ -154,6 +161,35 @@ type runOpts struct {
 	metricsAddr string
 }
 
+// metricsFlag is the consolidated observability flag. One spelling,
+// three forms (repeatable, so they combine):
+//
+//	-metrics        print the flattened metrics after each rendering
+//	-metrics=-      dump the process metrics registry (Prometheus text)
+//	                after the outcomes
+//	-metrics=ADDR   serve the registry at http://ADDR/metrics for the
+//	                run's duration
+//
+// IsBoolFlag lets the bare form parse without an argument, exactly
+// like the bool flag it replaces.
+type metricsFlag struct{ opts *runOpts }
+
+func (f *metricsFlag) IsBoolFlag() bool { return true }
+func (f *metricsFlag) String() string   { return "" }
+func (f *metricsFlag) Set(s string) error {
+	switch s {
+	case "true":
+		f.opts.metrics = true
+	case "false":
+		f.opts.metrics = false
+	case "-":
+		f.opts.obs = true
+	default:
+		f.opts.metricsAddr = s
+	}
+	return nil
+}
+
 func runCmd(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
 	opts := runOpts{}
@@ -161,13 +197,21 @@ func runCmd(ctx context.Context, w io.Writer, args []string) error {
 	fs.BoolVar(&opts.repro, "repro", false, "run every scenario twice and byte-diff the results")
 	fs.IntVar(&opts.procs, "procs", 0, "override every scenario's processor count (0 = as specified)")
 	fs.StringVar(&opts.outDir, "out", "", "also write each scenario's rendered output to <dir>/<name>.txt")
-	fs.BoolVar(&opts.metrics, "metrics", false, "print the flattened metrics after each rendering")
+	fs.Var(&metricsFlag{&opts}, "metrics", "print per-scenario metrics; -metrics=- dumps the registry, -metrics=ADDR serves it at http://ADDR/metrics")
 	fs.StringVar(&opts.traceDir, "trace", "", "record the simulated-time trace of every scenario into <dir>/<name>.trace.json")
-	fs.BoolVar(&opts.obs, "obs", false, "print the process metrics registry (Prometheus text format) after the outcomes")
-	fs.StringVar(&opts.metricsAddr, "metrics-addr", "", "serve /metrics on this address for the run's duration")
+	fs.BoolVar(&opts.obs, "obs", false, "deprecated alias for -metrics=-")
+	fs.StringVar(&opts.metricsAddr, "metrics-addr", "", "deprecated alias for -metrics=ADDR")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	fs.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "obs":
+			fmt.Fprintln(os.Stderr, "scenario: -obs is deprecated; use -metrics=-")
+		case "metrics-addr":
+			fmt.Fprintln(os.Stderr, "scenario: -metrics-addr is deprecated; use -metrics=<addr>")
+		}
+	})
 	files, err := expand(fs.Args())
 	if err != nil {
 		return err

@@ -108,7 +108,7 @@ func TestValidateTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, "17 scenario(s) valid") {
+	if !strings.Contains(out, "21 scenario(s) valid") {
 		t.Errorf("validate output:\n%s", out)
 	}
 	for _, f := range []string{"table1.yaml", "nightly/memory.yaml"} {
@@ -174,5 +174,40 @@ func TestRunPrintsMetricsURL(t *testing.T) {
 	}
 	if !strings.HasPrefix(buf.String(), "metrics: http://") {
 		t.Errorf("run output does not announce the metrics URL:\n%s", buf.String())
+	}
+}
+
+// TestMetricsFlagForms pins the consolidated -metrics flag's three
+// forms and their mapping onto the run options, plus the repeatable
+// combination — one spelling replacing the old -obs / -metrics-addr
+// pair.
+func TestMetricsFlagForms(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want runOpts
+	}{
+		{"bare", []string{"-metrics"}, runOpts{metrics: true}},
+		{"registry dump", []string{"-metrics=-"}, runOpts{obs: true}},
+		{"serve", []string{"-metrics=127.0.0.1:0"}, runOpts{metricsAddr: "127.0.0.1:0"}},
+		{"combined", []string{"-metrics", "-metrics=-"}, runOpts{metrics: true, obs: true}},
+		{"deprecated obs", []string{"-obs"}, runOpts{obs: true}},
+		{"deprecated addr", []string{"-metrics-addr=127.0.0.1:0"}, runOpts{metricsAddr: "127.0.0.1:0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			opts := runOpts{}
+			fs.Var(&metricsFlag{&opts}, "metrics", "")
+			fs.BoolVar(&opts.obs, "obs", false, "")
+			fs.StringVar(&opts.metricsAddr, "metrics-addr", "", "")
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatalf("Parse(%v): %v", tc.args, err)
+			}
+			if opts != tc.want {
+				t.Errorf("Parse(%v) = %+v, want %+v", tc.args, opts, tc.want)
+			}
+		})
 	}
 }

@@ -194,11 +194,18 @@ func TestScenariosByteIdenticalAcrossRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full scenario renders; skipped with -short")
 	}
-	racedOK := map[string]bool{"table4": true, "latency": true}
+	racedOK := map[string]bool{"table4": true, "latency": true, "perturb-straggler": true}
 	files, err := scenario.Files("scenarios")
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The perturbation ablation (runrequest/v2 requests) holds to the
+	// same bit-reproducibility contract as the uniform machine.
+	perturb, err := scenario.Files("scenarios/perturb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, perturb...)
 	for _, f := range files {
 		spec, err := scenario.Load(f)
 		if err != nil {

@@ -45,25 +45,138 @@ func PageRound(b, ps int) int {
 	return (b + ps - 1) / ps * ps
 }
 
-// Machine carries the simulated-machine overrides a workload runs
-// under. Zero fields mean the SP2 default (sim.DefaultConfig); the
-// scenario engine's latency/bandwidth sweep axes set them through
+// Machine is the structured simulated-machine spec a workload runs
+// under: uniform base overrides plus an optional Perturb block for
+// deterministic heterogeneity. The scenario engine's `machine:`
+// mapping and latency/bandwidth sweep axes set it through
 // Config.Machine, and every app's parallel backends build their
 // clusters through Config so the overrides apply uniformly. The
 // sequential reference ignores them by construction: it sends no
 // messages, so the network model never prices anything.
+//
+// Default inheritance: a zero (absent) LatencyUS or BandwidthMBs
+// inherits the SP2 default from sim.DefaultConfig. That rule makes a
+// literal zero unexpressible here — which is fine, because a
+// zero-latency or zero-bandwidth machine is not a meaningful model —
+// but it also means an *explicit* `latency_us: 0` in a spec file would
+// silently become 85 us. The scenario validator therefore rejects
+// explicit zeros ("omit the key to inherit the default") rather than
+// letting them alias.
 type Machine struct {
-	LatencyUS    int // one-way per-message latency (us); 0 = default
-	BandwidthMBs int // network bandwidth (MB/s == B/us); 0 = default
+	LatencyUS    int // one-way per-message latency (us); 0 = inherit default
+	BandwidthMBs int // network bandwidth (MB/s == B/us); 0 = inherit default
+
+	// Perturb, when non-nil and non-zero, deterministically skews the
+	// uniform machine (DESIGN.md §15). It is real configuration:
+	// bench.RunRequest.Canonical encodes it (as runrequest/v2) and the
+	// content address moves with it.
+	Perturb *Perturb
 
 	// Trace, when non-nil, is the trace recorder every cluster built
 	// through Config records into (DESIGN.md §13). It is observability
 	// plumbing, not configuration: bench.RunRequest.Canonical encodes
-	// only the latency/bandwidth fields, so a traced and an untraced
+	// only the machine-model fields, so a traced and an untraced
 	// run share a content address — which is exactly why the runner
 	// bypasses the result cache for traced requests (a cache hit would
 	// skip the side effect).
 	Trace *obs.Trace
+}
+
+// Perturb is the machine spec's perturbation block: per-processor CPU
+// speed factors, per-directed-link latency/bandwidth overrides, and
+// seeded per-message arrival jitter. All three are pure functions of
+// the configuration and the message total order, so perturbed runs
+// stay bit-reproducible (DESIGN.md §15).
+type Perturb struct {
+	// CPU[i] scales every compute charge on processor i: 1.3 makes it
+	// a 30%-slow straggler, 0.5 a node twice as fast. Entries must be
+	// positive; processors beyond the list run at the nominal 1.0.
+	CPU []float64
+
+	// Links overrides individual directed links. Unlisted links keep
+	// the uniform machine values.
+	Links []LinkOverride
+
+	// JitterUS, when positive, adds a deterministic pseudo-random
+	// delay in [0, JitterUS) microseconds to every message arrival,
+	// keyed by (JitterSeed, sender, sender sequence number).
+	JitterUS   float64
+	JitterSeed int64
+}
+
+// LinkOverride overrides one directed link's cost model. A zero field
+// inherits the uniform machine value (same rule as Machine itself);
+// an override with both fields zero is a no-op and rejected.
+type LinkOverride struct {
+	From, To     int
+	LatencyUS    int // one-way latency on this link (us); 0 = inherit
+	BandwidthMBs int // bandwidth on this link (MB/s); 0 = inherit
+}
+
+// IsZero reports whether the block is absent or empty.
+func (p *Perturb) IsZero() bool {
+	return p == nil || (len(p.CPU) == 0 && len(p.Links) == 0 &&
+		p.JitterUS == 0 && p.JitterSeed == 0)
+}
+
+// Perturbed reports whether the machine carries a non-empty
+// perturbation block — the predicate that flips the canonical request
+// encoding from runrequest/v1 to runrequest/v2.
+func (m Machine) Perturbed() bool {
+	return !m.Perturb.IsZero()
+}
+
+// Validate checks the machine spec against a cluster of procs
+// processors, returning a descriptive error for every way a spec file
+// can get it wrong (negative overrides, non-positive CPU factors,
+// out-of-range or duplicate links, no-op link overrides, negative
+// jitter). The zero Machine is always valid.
+func (m Machine) Validate(procs int) error {
+	if m.LatencyUS < 0 {
+		return fmt.Errorf("machine: latency_us must be >= 0 (got %d)", m.LatencyUS)
+	}
+	if m.BandwidthMBs < 0 {
+		return fmt.Errorf("machine: bandwidth_mbs must be >= 0 (got %d)", m.BandwidthMBs)
+	}
+	p := m.Perturb
+	if p.IsZero() {
+		return nil
+	}
+	if len(p.CPU) > procs {
+		return fmt.Errorf("machine: perturb.cpu lists %d factors for %d procs", len(p.CPU), procs)
+	}
+	for i, f := range p.CPU {
+		if !(f > 0) {
+			return fmt.Errorf("machine: perturb.cpu[%d] must be positive (got %v)", i, f)
+		}
+	}
+	if p.JitterUS < 0 {
+		return fmt.Errorf("machine: perturb.jitter_us must be >= 0 (got %v)", p.JitterUS)
+	}
+	if p.JitterSeed < 0 {
+		return fmt.Errorf("machine: perturb.jitter_seed must be >= 0 (got %d)", p.JitterSeed)
+	}
+	seen := make(map[[2]int]bool, len(p.Links))
+	for _, l := range p.Links {
+		if l.From < 0 || l.From >= procs || l.To < 0 || l.To >= procs {
+			return fmt.Errorf("machine: perturb link %d->%d out of range for %d procs", l.From, l.To, procs)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("machine: perturb link %d->%d is a self-link", l.From, l.To)
+		}
+		if l.LatencyUS < 0 || l.BandwidthMBs < 0 {
+			return fmt.Errorf("machine: perturb link %d->%d has a negative override", l.From, l.To)
+		}
+		if l.LatencyUS == 0 && l.BandwidthMBs == 0 {
+			return fmt.Errorf("machine: perturb link %d->%d overrides nothing (set latency_us or bandwidth_mbs)", l.From, l.To)
+		}
+		k := [2]int{l.From, l.To}
+		if seen[k] {
+			return fmt.Errorf("machine: duplicate perturb link %d->%d", l.From, l.To)
+		}
+		seen[k] = true
+	}
+	return nil
 }
 
 // Config returns the simulated-machine description for procs
@@ -75,6 +188,22 @@ func (m Machine) Config(procs int) sim.Config {
 	}
 	if m.BandwidthMBs > 0 {
 		cfg.BytesPerUS = float64(m.BandwidthMBs)
+	}
+	if m.Perturbed() {
+		p := m.Perturb
+		sp := &sim.Perturb{
+			CPUFactor:  append([]float64(nil), p.CPU...),
+			JitterUS:   p.JitterUS,
+			JitterSeed: uint64(p.JitterSeed),
+		}
+		for _, l := range p.Links {
+			sp.Links = append(sp.Links, sim.LinkPerturb{
+				From: l.From, To: l.To,
+				LatencyUS:  float64(l.LatencyUS),
+				BytesPerUS: float64(l.BandwidthMBs),
+			})
+		}
+		cfg.Perturb = sp
 	}
 	cfg.Trace = m.Trace
 	return cfg

@@ -167,9 +167,8 @@ func New(name string, cfg Config) (w Workload, err error) {
 			return nil, fmt.Errorf("apps: %s knob %q must be non-negative (got %d)", name, k, v)
 		}
 	}
-	if cfg.Machine.LatencyUS < 0 || cfg.Machine.BandwidthMBs < 0 {
-		return nil, fmt.Errorf("apps: %s machine overrides must be non-negative (got latency_us=%d, bandwidth_mbs=%d)",
-			name, cfg.Machine.LatencyUS, cfg.Machine.BandwidthMBs)
+	if err := cfg.Machine.Validate(cfg.Procs); err != nil {
+		return nil, fmt.Errorf("apps: %s: %v", name, err)
 	}
 	defer func() {
 		if p := recover(); p != nil {

@@ -16,6 +16,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/apps"
 )
 
 // EncodeResult serializes a result as JSON. The bytes are
@@ -132,6 +134,22 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+func parseFloatList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: canonical encoding: bad float list %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 // DecodeCanonical parses a canonical request encoding back into the
 // request it encodes. Round-trip fidelity is the contract:
 // DecodeCanonical(b).Canonical() == b for every b Canonical can
@@ -152,6 +170,10 @@ func DecodeCanonical(b []byte) (RunRequest, error) {
 	v, err := strconv.Atoi(strings.TrimPrefix(p.lines[0], "runrequest/v"))
 	if err != nil {
 		return req, fmt.Errorf("bench: bad canonical version line %q", p.lines[0])
+	}
+	if v != RequestVersion && v != RequestVersionPerturb {
+		return req, fmt.Errorf("bench: unsupported canonical version %d (supported: %d, %d)",
+			v, RequestVersion, RequestVersionPerturb)
 	}
 	req.Version = v
 	p.pos++
@@ -193,6 +215,64 @@ func DecodeCanonical(b []byte) (RunRequest, error) {
 	}
 	if req.Machine.BandwidthMBs, err = p.intField("machine.bandwidth_mbs"); err != nil {
 		return req, err
+	}
+	if v == RequestVersionPerturb {
+		// The v2 perturbation block. Canonical emits v2 exactly when the
+		// block is non-empty, so an empty block here cannot round-trip
+		// (it would re-encode as v1) and is rejected.
+		pert := &apps.Perturb{}
+		if p.peekPrefix("perturb.cpu=") {
+			s, _ := p.field("perturb.cpu")
+			if pert.CPU, err = parseFloatList(s); err != nil {
+				return req, err
+			}
+		}
+		if p.peekPrefix("perturb.jitter_us=") {
+			s, _ := p.field("perturb.jitter_us")
+			if pert.JitterUS, err = strconv.ParseFloat(s, 64); err != nil {
+				return req, fmt.Errorf("bench: canonical encoding: bad perturb.jitter_us %q", s)
+			}
+		}
+		if p.peekPrefix("perturb.jitter_seed=") {
+			s, _ := p.field("perturb.jitter_seed")
+			if pert.JitterSeed, err = strconv.ParseInt(s, 10, 64); err != nil {
+				return req, fmt.Errorf("bench: canonical encoding: bad perturb.jitter_seed %q", s)
+			}
+		}
+		for p.peekPrefix("perturb.link.") {
+			line := p.lines[p.pos]
+			p.pos++
+			key, val, ok := strings.Cut(strings.TrimPrefix(line, "perturb.link."), "=")
+			pair, fieldName, ok2 := strings.Cut(key, ".")
+			fs, ts, ok3 := strings.Cut(pair, "-")
+			if !ok || !ok2 || !ok3 {
+				return req, fmt.Errorf("bench: canonical encoding: malformed perturb link line %q", line)
+			}
+			from, err1 := strconv.Atoi(fs)
+			to, err2 := strconv.Atoi(ts)
+			fv, err3 := strconv.Atoi(val)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return req, fmt.Errorf("bench: canonical encoding: malformed perturb link line %q", line)
+			}
+			// Consecutive lines for one (from, to) pair describe one
+			// override (Canonical writes latency before bandwidth).
+			if n := len(pert.Links); n == 0 || pert.Links[n-1].From != from || pert.Links[n-1].To != to {
+				pert.Links = append(pert.Links, apps.LinkOverride{From: from, To: to})
+			}
+			l := &pert.Links[len(pert.Links)-1]
+			switch fieldName {
+			case "latency_us":
+				l.LatencyUS = fv
+			case "bandwidth_mbs":
+				l.BandwidthMBs = fv
+			default:
+				return req, fmt.Errorf("bench: canonical encoding: unknown perturb link field in %q", line)
+			}
+		}
+		if pert.IsZero() {
+			return req, fmt.Errorf("bench: canonical v%d encoding carries no perturbation", v)
+		}
+		req.Machine.Perturb = pert
 	}
 	if p.peekPrefix("sweep.axis=") {
 		axis, _ := p.field("sweep.axis")

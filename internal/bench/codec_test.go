@@ -23,6 +23,21 @@ func codecRequests() map[string]RunRequest {
 			Procs: []int{4}, Knobs: map[string]int{"update_every": 20},
 			Machine: apps.Machine{LatencyUS: 200, BandwidthMBs: 40},
 			Sweep:   &SweepAxis{Axis: "latency_us", Values: []int{100, 500}}},
+		// The runrequest/v2 shapes: a perturbation block forces the v2
+		// header (codec_version_test.go pins the exact bytes).
+		"app+perturb-cpu": {Experiment: "app", App: "moldyn", N: 256, Steps: 4,
+			Procs:   []int{4},
+			Machine: apps.Machine{Perturb: &apps.Perturb{CPU: []float64{1.3, 1, 1, 1}}}},
+		"app+perturb-full": {Experiment: "app", App: "nbf", N: 512, Steps: 2,
+			Procs: []int{4, 8}, Knobs: map[string]int{"partners": 24},
+			Machine: apps.Machine{LatencyUS: 200, Perturb: &apps.Perturb{
+				CPU:      []float64{1.15, 1, 0.9},
+				JitterUS: 5, JitterSeed: 7,
+				Links: []apps.LinkOverride{
+					{From: 1, To: 0, LatencyUS: 170},
+					{From: 0, To: 1, LatencyUS: 340, BandwidthMBs: 20},
+				}}},
+			Sweep: &SweepAxis{Axis: "latency_us", Values: []int{100, 500}}},
 	}
 }
 

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// The cross-version codec contract (DESIGN.md §15): unperturbed
+// requests must keep producing the exact pre-perturbation
+// runrequest/v1 bytes (content addresses, disk-cache directories,
+// and goldens all hash them), perturbed requests must encode as
+// runrequest/v2 and round-trip, an all-zero perturbation must
+// canonicalize back to v1, and versions the codec does not speak must
+// be rejected with a stable message.
+
+// TestCanonicalV1BytesPinned pins the v1 encoding byte-for-byte. If
+// this test fails, every existing content address changes — that is a
+// cache-invalidating, golden-breaking event and must come with a
+// version bump, not a silent edit.
+func TestCanonicalV1BytesPinned(t *testing.T) {
+	req := RunRequest{Experiment: "app", App: "moldyn", N: 256,
+		Procs: []int{4}, Knobs: map[string]int{"update_every": 20},
+		Machine: apps.Machine{LatencyUS: 200, BandwidthMBs: 40},
+		Sweep:   &SweepAxis{Axis: "latency_us", Values: []int{100, 500}}}
+	want := "runrequest/v1\n" +
+		"experiment=app\n" +
+		"app=moldyn\n" +
+		"n=256\n" +
+		"steps=0\n" +
+		"seed=0\n" +
+		"procs=4\n" +
+		"knob.update_every=20\n" +
+		"machine.latency_us=200\n" +
+		"machine.bandwidth_mbs=40\n" +
+		"sweep.axis=latency_us\n" +
+		"sweep.values=100,500\n"
+	if got := string(req.Canonical()); got != want {
+		t.Errorf("v1 canonical bytes changed:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCanonicalV2BytesPinned pins the v2 encoding: the perturb block
+// sits between the machine fields and the sweep axis, links are
+// sorted by (from, to) with latency before bandwidth, and floats use
+// the shortest round-tripping spelling.
+func TestCanonicalV2BytesPinned(t *testing.T) {
+	req := RunRequest{Experiment: "app", App: "moldyn", N: 256, Steps: 4,
+		Procs: []int{4},
+		Machine: apps.Machine{Perturb: &apps.Perturb{
+			CPU:      []float64{1.3, 1},
+			JitterUS: 5, JitterSeed: 7,
+			Links: []apps.LinkOverride{
+				{From: 1, To: 0, LatencyUS: 170},
+				{From: 0, To: 1, BandwidthMBs: 20},
+			}}}}
+	want := "runrequest/v2\n" +
+		"experiment=app\n" +
+		"app=moldyn\n" +
+		"n=256\n" +
+		"steps=4\n" +
+		"seed=0\n" +
+		"procs=4\n" +
+		"machine.latency_us=0\n" +
+		"machine.bandwidth_mbs=0\n" +
+		"perturb.cpu=1.3,1\n" +
+		"perturb.jitter_us=5\n" +
+		"perturb.jitter_seed=7\n" +
+		"perturb.link.0-1.bandwidth_mbs=20\n" +
+		"perturb.link.1-0.latency_us=170\n"
+	if got := string(req.Canonical()); got != want {
+		t.Errorf("v2 canonical bytes changed:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	dec, err := DecodeCanonical([]byte(want))
+	if err != nil {
+		t.Fatalf("DecodeCanonical(v2): %v", err)
+	}
+	if !bytes.Equal(dec.Canonical(), []byte(want)) {
+		t.Errorf("v2 round trip changed the encoding:\n--- out ---\n%s", dec.Canonical())
+	}
+}
+
+// TestZeroPerturbCanonicalizesToV1 is the content-address stability
+// guarantee: a request carrying an all-zero perturbation block is the
+// same experiment as one carrying none, so it must encode as v1 with
+// an identical content address — not fragment the cache under a v2
+// header that decodes to the same simulation.
+func TestZeroPerturbCanonicalizesToV1(t *testing.T) {
+	plain := RunRequest{Experiment: "app", App: "taskq", N: 64, Steps: 3,
+		Procs: []int{2}, Machine: apps.Machine{LatencyUS: 200}}
+	zero := plain
+	zero.Machine.Perturb = &apps.Perturb{}
+
+	if !strings.HasPrefix(string(zero.Canonical()), "runrequest/v1\n") {
+		t.Errorf("all-zero perturbation encoded with header %q, want runrequest/v1",
+			strings.SplitN(string(zero.Canonical()), "\n", 2)[0])
+	}
+	if !canonEqual(plain, zero) {
+		t.Errorf("all-zero perturbation changed the canonical bytes:\n--- plain ---\n%s--- zero ---\n%s",
+			plain.Canonical(), zero.Canonical())
+	}
+	if plain.Key() != zero.Key() {
+		t.Error("all-zero perturbation changed the content address")
+	}
+}
+
+// TestPerturbedCanonicalIsV2 checks the other direction of the
+// content-derived header: any non-zero perturbation field forces v2,
+// regardless of what the struct's Version field says.
+func TestPerturbedCanonicalIsV2(t *testing.T) {
+	req := RunRequest{Version: RequestVersion, Experiment: "app", App: "moldyn",
+		N: 256, Procs: []int{4},
+		Machine: apps.Machine{Perturb: &apps.Perturb{CPU: []float64{1.3}}}}
+	if !strings.HasPrefix(string(req.Canonical()), "runrequest/v2\n") {
+		t.Errorf("perturbed request encoded with header %q, want runrequest/v2",
+			strings.SplitN(string(req.Canonical()), "\n", 2)[0])
+	}
+}
+
+// TestDecodeCanonicalRejectsUnknownVersion pins the rejection message
+// for a version the codec does not speak — the error a newer
+// encoding meets on an older binary, so its wording is part of the
+// cross-version contract.
+func TestDecodeCanonicalRejectsUnknownVersion(t *testing.T) {
+	good := string(RunRequest{Experiment: "app", App: "taskq", N: 64,
+		Procs: []int{2}}.Canonical())
+	v3 := strings.Replace(good, "runrequest/v1\n", "runrequest/v3\n", 1)
+	_, err := DecodeCanonical([]byte(v3))
+	if err == nil {
+		t.Fatal("DecodeCanonical accepted runrequest/v3")
+	}
+	want := "bench: unsupported canonical version 3 (supported: 1, 2)"
+	if err.Error() != want {
+		t.Errorf("rejection message = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestDecodeCanonicalRejectsEmptyPerturbBlock: a v2 header whose
+// perturb block is absent cannot round-trip (it would re-encode as
+// v1), so the strict parser refuses it instead of aliasing two
+// encodings onto one request.
+func TestDecodeCanonicalRejectsEmptyPerturbBlock(t *testing.T) {
+	good := string(RunRequest{Experiment: "app", App: "taskq", N: 64,
+		Procs: []int{2}}.Canonical())
+	v2 := strings.Replace(good, "runrequest/v1\n", "runrequest/v2\n", 1)
+	_, err := DecodeCanonical([]byte(v2))
+	if err == nil {
+		t.Fatal("DecodeCanonical accepted a v2 encoding with no perturbation block")
+	}
+	want := "bench: canonical v2 encoding carries no perturbation"
+	if err.Error() != want {
+		t.Errorf("rejection message = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestRunRejectsVersionedRequests mirrors the Run-side gate: explicit
+// versions 1 and 2 are accepted (a decoded v2 request must be
+// runnable), anything else is refused before any simulation starts.
+func TestRunVersionGateAcceptsBothVersions(t *testing.T) {
+	for _, v := range []int{0, RequestVersion, RequestVersionPerturb} {
+		req := RunRequest{Version: v, Experiment: "app", App: "taskq", N: 64, Procs: []int{2}}
+		if _, err := Run(t.Context(), req); err != nil {
+			t.Errorf("Run rejected version %d: %v", v, err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/apps"
 	"repro/internal/apps/moldyn"
@@ -32,8 +33,17 @@ import (
 
 // RequestVersion is the canonical-encoding schema version; it moves
 // only with a breaking change to the encoding (the scenario spec's
-// "version:" key maps onto it).
-const RequestVersion = 1
+// "version:" key maps onto it). RequestVersionPerturb is the extended
+// schema carrying a machine perturbation block. The version in the
+// canonical header is derived from content, not from the struct field:
+// a request with no perturbation always encodes as runrequest/v1 —
+// byte-for-byte what pre-perturbation builds produced, so existing
+// content addresses, disk-cache directories, and goldens stay valid —
+// and a perturbed request always encodes as runrequest/v2.
+const (
+	RequestVersion        = 1
+	RequestVersionPerturb = 2
+)
 
 // SweepAxis names one swept axis of an app-experiment request; the
 // run grid is the cross product of the values and the procs list.
@@ -90,9 +100,9 @@ type RunRequest struct {
 // matter how they were built.
 func (r RunRequest) Canonical() []byte {
 	var b bytes.Buffer
-	v := r.Version
-	if v == 0 {
-		v = RequestVersion
+	v := RequestVersion
+	if r.Machine.Perturbed() {
+		v = RequestVersionPerturb
 	}
 	fmt.Fprintf(&b, "runrequest/v%d\n", v)
 	fmt.Fprintf(&b, "experiment=%s\n", r.Experiment)
@@ -107,6 +117,33 @@ func (r RunRequest) Canonical() []byte {
 	}
 	fmt.Fprintf(&b, "machine.latency_us=%d\nmachine.bandwidth_mbs=%d\n",
 		r.Machine.LatencyUS, r.Machine.BandwidthMBs)
+	if r.Machine.Perturbed() {
+		pert := r.Machine.Perturb
+		if len(pert.CPU) > 0 {
+			fmt.Fprintf(&b, "perturb.cpu=%s\n", floatList(pert.CPU))
+		}
+		if pert.JitterUS != 0 {
+			fmt.Fprintf(&b, "perturb.jitter_us=%s\n", strconv.FormatFloat(pert.JitterUS, 'g', -1, 64))
+		}
+		if pert.JitterSeed != 0 {
+			fmt.Fprintf(&b, "perturb.jitter_seed=%d\n", pert.JitterSeed)
+		}
+		links := append([]apps.LinkOverride(nil), pert.Links...)
+		for i := 1; i < len(links); i++ {
+			for j := i; j > 0 && (links[j].From < links[j-1].From ||
+				(links[j].From == links[j-1].From && links[j].To < links[j-1].To)); j-- {
+				links[j], links[j-1] = links[j-1], links[j]
+			}
+		}
+		for _, l := range links {
+			if l.LatencyUS != 0 {
+				fmt.Fprintf(&b, "perturb.link.%d-%d.latency_us=%d\n", l.From, l.To, l.LatencyUS)
+			}
+			if l.BandwidthMBs != 0 {
+				fmt.Fprintf(&b, "perturb.link.%d-%d.bandwidth_mbs=%d\n", l.From, l.To, l.BandwidthMBs)
+			}
+		}
+	}
 	if r.Sweep != nil {
 		fmt.Fprintf(&b, "sweep.axis=%s\nsweep.values=%s\n", r.Sweep.Axis, intList(r.Sweep.Values))
 	}
@@ -129,6 +166,20 @@ func intList(vs []int) string {
 			b.WriteByte(',')
 		}
 		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// floatList joins floats with the shortest round-tripping decimal form
+// ('g'/-1 — ParseFloat gives the identical bits back), so the encoding
+// is canonical: one float value, one spelling.
+func floatList(vs []float64) string {
+	var b bytes.Buffer
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
 	}
 	return b.String()
 }
@@ -220,8 +271,9 @@ func Run(ctx context.Context, req RunRequest) (*RunResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if req.Version != 0 && req.Version != RequestVersion {
-		return nil, fmt.Errorf("bench: unsupported request version %d (supported: %d)", req.Version, RequestVersion)
+	if req.Version != 0 && req.Version != RequestVersion && req.Version != RequestVersionPerturb {
+		return nil, fmt.Errorf("bench: unsupported request version %d (supported: %d, %d)",
+			req.Version, RequestVersion, RequestVersionPerturb)
 	}
 	res := &RunResult{Experiment: req.Experiment}
 	// The trace recorder, when asked for: plumbed to every parallel

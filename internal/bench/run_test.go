@@ -54,12 +54,12 @@ func TestPresentationExcludedFromKey(t *testing.T) {
 // TestRunRejectsUnknownVersion checks the version gate fails loudly.
 func TestRunRejectsUnknownVersion(t *testing.T) {
 	req := Table1Request(Table1Params{N: 64, Procs: 2, Steps: 2})
-	req.Version = 2
+	req.Version = 3
 	_, err := Run(context.Background(), req)
 	if err == nil {
-		t.Fatal("Run accepted version 2")
+		t.Fatal("Run accepted version 3")
 	}
-	want := "bench: unsupported request version 2 (supported: 1)"
+	want := "bench: unsupported request version 3 (supported: 1, 2)"
 	if err.Error() != want {
 		t.Errorf("error = %q, want %q", err, want)
 	}

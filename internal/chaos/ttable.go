@@ -236,15 +236,15 @@ func (t *TransTable) LookupBatch(p *sim.Proc, globals []int) []Loc {
 			if t.kind == Paged {
 				reqB = TableEntryBytes * (entries / TablePageEntries)
 			}
-			rtt := cfg.LatencyUS + cfg.XferUS(reqB) +
-				0.05*float64(entries) + // segment-owner lookup
-				cfg.LatencyUS + cfg.XferUS(respB)
+			cl := p.Cluster()
+			rtt := cl.LinkLatencyUS(p.ID(), q) + cl.LinkXferUS(p.ID(), q, reqB) +
+				0.05*float64(entries)*cl.CPUFactor(q) + // segment-owner lookup, at the owner's speed
+				cl.LinkLatencyUS(q, p.ID()) + cl.LinkXferUS(q, p.ID(), respB)
 			if t0+rtt > done {
 				done = t0 + rtt
 			}
 			msgs += cfg.Frags(reqB) + cfg.Frags(respB)
 			bytes += cfg.WireBytes(reqB) + cfg.WireBytes(respB)
-			_ = q
 		}
 		p.AdvanceTo(done)
 		p.Cluster().Stats.CountP(p.ID(), "chaos.ttable", msgs, bytes)

@@ -93,6 +93,7 @@ func (s *Spec) Request() bench.RunRequest {
 	case "app":
 		req.App, req.N, req.Steps, req.Seed = s.App, s.N, s.Steps, s.Seed
 		req.Procs = append([]int(nil), s.Procs...)
+		req.Machine = s.Machine
 		if len(s.Knobs) > 0 {
 			req.Knobs = make(map[string]int, len(s.Knobs))
 			for k, v := range s.Knobs {

@@ -91,6 +91,16 @@ type Spec struct {
 	Variants []string
 	Knobs    map[string]int
 	Sweep    *Sweep
+	// Machine is the structured machine spec (`machine:` mapping):
+	// uniform latency/bandwidth overrides plus the optional perturb
+	// block. Absent keys inherit the SP2 defaults; explicit zeros are
+	// rejected as ambiguous during parsing.
+	Machine apps.Machine
+
+	// machineSet records whether the spec file carried a "machine" key
+	// (the canned experiments reject it even when it decodes to the
+	// zero Machine).
+	machineSet bool
 
 	// Assert carries the bands checked against the run's metrics.
 	Assert []Band
@@ -188,7 +198,7 @@ var specKeys = map[string]bool{
 	"name":    true, "description": true, "experiment": true, "params": true,
 	"repro": true, "trace": true, "app": true, "n": true, "steps": true,
 	"seed": true, "procs": true, "variants": true, "knobs": true,
-	"sweep": true, "assert": true,
+	"sweep": true, "machine": true, "assert": true,
 }
 
 // FromGeneric builds and validates a Spec from the generic
@@ -252,6 +262,9 @@ func FromGeneric(doc any) (*Spec, error) {
 	if s.Sweep, err = optSweep(m); err != nil {
 		return nil, err
 	}
+	if s.Machine, s.machineSet, err = optMachine(m); err != nil {
+		return nil, err
+	}
 	if s.Assert, err = optBands(m); err != nil {
 		return nil, err
 	}
@@ -296,6 +309,7 @@ func (s *Spec) validate() error {
 			{"app", s.App != ""}, {"n", s.N != 0}, {"steps", s.Steps != 0},
 			{"seed", s.Seed != 0}, {"procs", len(s.Procs) > 0},
 			{"variants", len(s.Variants) > 0}, {"knobs", len(s.Knobs) > 0},
+			{"machine", s.machineSet},
 		}
 		for _, f := range appOnly {
 			if f.set {
@@ -384,6 +398,17 @@ func (s *Spec) validate() error {
 		}
 		if len(s.Variants) == 0 {
 			s.Variants = append([]string(nil), variantSlots...)
+		}
+		// The machine spec must be valid for every grid point, so it is
+		// checked against the smallest requested cluster.
+		minProcs := s.Procs[0]
+		for _, p := range s.Procs {
+			if p < minProcs {
+				minProcs = p
+			}
+		}
+		if err := s.Machine.Validate(minProcs); err != nil {
+			return fmt.Errorf("scenario %q: %v", s.Name, err)
 		}
 	}
 
@@ -533,6 +558,128 @@ func optSweep(m map[string]any) (*Sweep, error) {
 		return nil, err
 	}
 	return sw, nil
+}
+
+// optMachine decodes the structured `machine:` mapping. The default-
+// inheritance rule (absent key = SP2 default) makes an explicit zero
+// unexpressible, so zeros are rejected here — where "key present with
+// value 0" is still distinguishable from "key absent" — instead of
+// silently becoming the default downstream.
+func optMachine(m map[string]any) (apps.Machine, bool, error) {
+	var mach apps.Machine
+	v, ok := m["machine"]
+	if !ok || v == nil {
+		return mach, false, nil
+	}
+	mm, ok := v.(map[string]any)
+	if !ok {
+		return mach, true, fmt.Errorf(`scenario: key "machine" must be a mapping (got %v)`, v)
+	}
+	for _, k := range sortedMapKeys(mm) {
+		if k != "latency_us" && k != "bandwidth_mbs" && k != "perturb" {
+			return mach, true, fmt.Errorf("scenario: unknown machine key %q (want latency_us, bandwidth_mbs, perturb)", k)
+		}
+	}
+	var err error
+	var set bool
+	if mach.LatencyUS, set, err = optInt(mm, "latency_us"); err != nil {
+		return mach, true, err
+	}
+	if set && mach.LatencyUS == 0 {
+		return mach, true, fmt.Errorf(`scenario: machine.latency_us: 0 is ambiguous (0 means "inherit the default"); omit the key to inherit the SP2 default`)
+	}
+	if mach.BandwidthMBs, set, err = optInt(mm, "bandwidth_mbs"); err != nil {
+		return mach, true, err
+	}
+	if set && mach.BandwidthMBs == 0 {
+		return mach, true, fmt.Errorf(`scenario: machine.bandwidth_mbs: 0 is ambiguous (0 means "inherit the default"); omit the key to inherit the SP2 default`)
+	}
+	pv, ok := mm["perturb"]
+	if !ok || pv == nil {
+		return mach, true, nil
+	}
+	pm, ok := pv.(map[string]any)
+	if !ok {
+		return mach, true, fmt.Errorf(`scenario: key "machine.perturb" must be a mapping (got %v)`, pv)
+	}
+	for _, k := range sortedMapKeys(pm) {
+		if k != "cpu" && k != "links" && k != "jitter_us" && k != "jitter_seed" {
+			return mach, true, fmt.Errorf("scenario: unknown machine.perturb key %q (want cpu, links, jitter_us, jitter_seed)", k)
+		}
+	}
+	pert := &apps.Perturb{}
+	if pert.CPU, err = optFloatList(pm, "cpu"); err != nil {
+		return mach, true, err
+	}
+	if j, err := optFloat(pm, "jitter_us"); err != nil {
+		return mach, true, err
+	} else if j != nil {
+		pert.JitterUS = *j
+	}
+	seed, _, err := optInt(pm, "jitter_seed")
+	if err != nil {
+		return mach, true, err
+	}
+	pert.JitterSeed = int64(seed)
+	if lv, ok := pm["links"]; ok && lv != nil {
+		ll, ok := lv.([]any)
+		if !ok {
+			return mach, true, fmt.Errorf(`scenario: key "machine.perturb.links" must be a list of mappings (got %v)`, lv)
+		}
+		for i, e := range ll {
+			lm, ok := e.(map[string]any)
+			if !ok {
+				return mach, true, fmt.Errorf("scenario: machine.perturb.links[%d] must be a mapping (got %v)", i, e)
+			}
+			for _, k := range sortedMapKeys(lm) {
+				if k != "from" && k != "to" && k != "latency_us" && k != "bandwidth_mbs" {
+					return mach, true, fmt.Errorf("scenario: unknown link key %q (want from, to, latency_us, bandwidth_mbs)", k)
+				}
+			}
+			var l apps.LinkOverride
+			fromSet, toSet := false, false
+			if l.From, fromSet, err = optInt(lm, "from"); err != nil {
+				return mach, true, err
+			}
+			if l.To, toSet, err = optInt(lm, "to"); err != nil {
+				return mach, true, err
+			}
+			if !fromSet || !toSet {
+				return mach, true, fmt.Errorf(`scenario: machine.perturb.links[%d] needs "from" and "to"`, i)
+			}
+			if l.LatencyUS, _, err = optInt(lm, "latency_us"); err != nil {
+				return mach, true, err
+			}
+			if l.BandwidthMBs, _, err = optInt(lm, "bandwidth_mbs"); err != nil {
+				return mach, true, err
+			}
+			pert.Links = append(pert.Links, l)
+		}
+	}
+	if !pert.IsZero() {
+		mach.Perturb = pert
+	}
+	return mach, true, nil
+}
+
+func optFloatList(m map[string]any, key string) ([]float64, error) {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil, nil
+	}
+	l, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("scenario: key %q must be a list of numbers (got %v)", key, v)
+	}
+	out := make([]float64, 0, len(l))
+	for i, e := range l {
+		f, ok := e.(float64)
+		if !ok {
+			return nil, fmt.Errorf("scenario: %s[%d] must be a number (got %v)", key, i, e)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 func optBands(m map[string]any) ([]Band, error) {

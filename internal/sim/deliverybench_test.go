@@ -36,6 +36,40 @@ func BenchmarkDelivery(b *testing.B) {
 	}
 }
 
+// BenchmarkDeliveryPerturbed is BenchmarkDelivery's all-to-all round
+// on a perturbed cluster — a 30% straggler, one slow link, and seeded
+// jitter — so the per-link table lookups and the jitter hash sit on
+// the hot delivery path instead of the nil-check fast path. The gate
+// tracks this next to the uniform variant: the spread between the two
+// is the perturbation model's hot-path cost.
+func BenchmarkDeliveryPerturbed(b *testing.B) {
+	for _, procs := range []int{4, 16} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			cfg := DefaultConfig(procs)
+			cfg.Perturb = &Perturb{
+				CPUFactor:  []float64{1.3},
+				Links:      []LinkPerturb{{From: 0, To: 1, LatencyUS: 170, BytesPerUS: 20}},
+				JitterUS:   5,
+				JitterSeed: 7,
+			}
+			c := NewCluster(cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.Run(func(p *Proc) {
+				for i := 0; i < b.N; i++ {
+					for q := 0; q < procs; q++ {
+						if q != p.ID() {
+							p.Send(q, "xall", i, nil, 64)
+						}
+					}
+					p.RecvEach("xall", i, procs-1, nil)
+					p.Advance(1)
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkDeliveryRing is the latency-bound shape: a neighbor ring
 // where every processor sends one message and drains one message per
 // iteration, so each message costs one block/wake hand-off. The ring

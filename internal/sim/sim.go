@@ -67,6 +67,13 @@ type Config struct {
 	ApplyUSPerB  float64 // applying one diff byte to a page
 	BarrierMgrUS float64 // barrier manager bookkeeping per arrival
 
+	// Perturb, when non-nil, deterministically skews the uniform model:
+	// per-proc CPU factors, per-link latency/bandwidth overrides, and
+	// seeded per-message jitter (DESIGN.md §15). Nil — the default —
+	// keeps the machine uniform and every simulated number byte-exactly
+	// what the unperturbed code produced.
+	Perturb *Perturb
+
 	// Trace, when non-nil, records the cluster's simulated events
 	// (sends, deliveries, lock wait/hold, barriers, memory charges) as
 	// one trace episode (DESIGN.md §13). Nil — the default — keeps every
@@ -333,6 +340,16 @@ type Cluster struct {
 	// barMu guards the barriers map and all episode state.
 	barMu    sync.Mutex
 	barriers map[int]*barrier
+
+	// Perturbation tables (DESIGN.md §15), built once in NewCluster and
+	// immutable afterwards, so the hot-path reads need no lock. lat and
+	// bpu are dense from*n+to link tables; nil means the corresponding
+	// dimension is uniform and the lookup falls back to cfg. jitterUS
+	// == 0 disables per-message jitter entirely.
+	lat        []float64
+	bpu        []float64
+	jitterUS   float64
+	jitterSeed uint64
 }
 
 // NewCluster builds a cluster with cfg.Procs processors.
@@ -352,6 +369,7 @@ func NewCluster(cfg Config) *Cluster {
 		p := &Proc{
 			id:       i,
 			c:        c,
+			cpuf:     1,
 			intrBy:   make([]float64, cfg.Procs),
 			handlers: map[string]Handler{},
 		}
@@ -360,6 +378,7 @@ func NewCluster(cfg Config) *Cluster {
 		p.resw.ready = make(chan struct{}, 1)
 		c.procs = append(c.procs, p)
 	}
+	c.buildPerturb(cfg.Perturb)
 	return c
 }
 
@@ -514,6 +533,12 @@ type Proc struct {
 	sendSeq   int64                   // owner-goroutine only: per-sender message sequence
 	drainBuf  []envelope              // owner-goroutine only: reused by drain
 
+	// cpuf is the processor's CPU speed factor (§15): every compute
+	// charge is multiplied by it. 1 for unperturbed clusters — and
+	// x*1.0 == x bit-exactly, so the multiplication never changes an
+	// unperturbed number. Set once in NewCluster, read-only afterwards.
+	cpuf float64
+
 	// resw is the processor's reusable arbiter waiter: a processor has at
 	// most one resource acquire in flight (AcquireResource blocks), so the
 	// waiter and its one-token grant channel are allocated once. inflight
@@ -610,11 +635,13 @@ func (p *Proc) BusyUS() float64 {
 	return p.busyUS
 }
 
-// Advance charges dt microseconds of local computation.
+// Advance charges dt microseconds of local computation, scaled by the
+// processor's CPU factor (1.0 unless Config.Perturb names it).
 func (p *Proc) Advance(dt float64) {
 	if dt < 0 {
 		panic("sim: negative time advance")
 	}
+	dt *= p.cpuf
 	p.mu.Lock()
 	p.clock += dt
 	p.busyUS += dt
@@ -622,9 +649,11 @@ func (p *Proc) Advance(dt float64) {
 }
 
 // clockThenAdvance returns the current clock and then charges dt of
-// local compute, in one critical section (the Send hot path reads the
-// send timestamp and pays the injection overhead back to back).
+// local compute (scaled by the CPU factor), in one critical section
+// (the Send hot path reads the send timestamp and pays the injection
+// overhead back to back).
 func (p *Proc) clockThenAdvance(dt float64) float64 {
+	dt *= p.cpuf
 	p.mu.Lock()
 	t := p.clock
 	p.clock += dt
@@ -715,8 +744,15 @@ func (p *Proc) Call(target int, kind string, req any, reqBytes int) any {
 // prefetch pattern: one exchange per remote processor, all overlapped).
 // The caller's clock advances by the maximum round-trip time among the
 // requests, not the sum. Responses are returned in request order.
+//
+// Perturbation (§15): each leg is priced on its directed link, the
+// handler and interrupt costs scale with the target's CPU factor, and
+// — when jitter is enabled — each exchange draws one deterministic
+// delay keyed by the caller's next sequence number (CallMulti runs on
+// the caller's own goroutine, so the draw order is program order).
 func (p *Proc) CallMulti(specs []CallSpec) []any {
 	cfg := &p.c.cfg
+	c := p.c
 	t0 := p.Clock()
 	resps := make([]any, len(specs))
 	done := t0
@@ -724,7 +760,7 @@ func (p *Proc) CallMulti(specs []CallSpec) []any {
 		if s.Target == p.id {
 			panic("sim: self-call")
 		}
-		tgt := p.c.procs[s.Target]
+		tgt := c.procs[s.Target]
 		tgt.hmu.RLock()
 		h := tgt.handlers[s.Kind]
 		tgt.hmu.RUnlock()
@@ -732,10 +768,14 @@ func (p *Proc) CallMulti(specs []CallSpec) []any {
 			panic(fmt.Sprintf("sim: proc %d has no handler for %q", s.Target, s.Kind))
 		}
 		resp, respBytes, handlerUS := h(p.id, s.Req)
-		tgt.chargeInterrupt(p.id, cfg.InterruptUS+handlerUS)
-		rtt := cfg.LatencyUS + cfg.XferUS(s.ReqBytes) + // request
-			handlerUS +
-			cfg.LatencyUS + cfg.XferUS(respBytes) // response
+		tgt.chargeInterrupt(p.id, (cfg.InterruptUS+handlerUS)*tgt.cpuf)
+		rtt := c.LinkLatencyUS(p.id, s.Target) + c.LinkXferUS(p.id, s.Target, s.ReqBytes) + // request
+			handlerUS*tgt.cpuf +
+			c.LinkLatencyUS(s.Target, p.id) + c.LinkXferUS(s.Target, p.id, respBytes) // response
+		if c.jitterUS != 0 {
+			p.sendSeq++
+			rtt += c.jitterFor(p.id, p.sendSeq)
+		}
 		if t0+rtt > done {
 			done = t0 + rtt
 		}
@@ -760,16 +800,17 @@ func (p *Proc) CallMulti(specs []CallSpec) []any {
 // the processor's own goroutine.
 func (p *Proc) Send(target int, kind string, tag int, payload any, bytes int) {
 	cfg := &p.c.cfg
+	c := p.c
 	if target == p.id {
 		panic("sim: self-send")
 	}
-	// Injection software overhead on the sender; the message's send time
-	// is the clock before that charge.
-	sentAt := p.clockThenAdvance(cfg.XferUS(bytes) / 2)
+	// Injection software overhead on the sender, priced on the directed
+	// link (and CPU-scaled inside clockThenAdvance); the message's send
+	// time is the clock before that charge.
+	sentAt := p.clockThenAdvance(c.LinkXferUS(p.id, target, bytes) / 2)
 	p.sendSeq++
 	env := envelope{from: p.id, seq: p.sendSeq, sentAt: sentAt, payload: payload, bytes: bytes}
 
-	c := p.c
 	if tr := c.trace; tr != nil {
 		tr.Send(p.id, target, kind, sentAt, c.cfg.WireBytes(bytes))
 	}
@@ -798,7 +839,7 @@ func (p *Proc) Recv(kind string, tag int) (from int, payload any) {
 	envs := p.drain(kind, tag, 1)
 	env := envs[0]
 	p.reclaimDrainBuf(envs)
-	arrival := env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes)
+	arrival := p.c.arrivalUS(env, p.id)
 	if tr := p.c.trace; tr != nil {
 		tr.Deliver(p.id, env.from, kind, arrival, cfg.WireBytes(env.bytes))
 	}
@@ -832,7 +873,7 @@ func (p *Proc) RecvEach(kind string, tag int, n int, fn func(from int, payload a
 		// update instead of n.
 		last := 0.0
 		for _, env := range envs {
-			t := env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes)
+			t := p.c.arrivalUS(env, p.id)
 			if tr != nil {
 				tr.Deliver(p.id, env.from, kind, t, cfg.WireBytes(env.bytes))
 			}
@@ -845,7 +886,7 @@ func (p *Proc) RecvEach(kind string, tag int, n int, fn func(from int, payload a
 		return
 	}
 	for _, env := range envs {
-		arrival := env.sentAt + cfg.LatencyUS + cfg.XferUS(env.bytes)
+		arrival := p.c.arrivalUS(env, p.id)
 		if tr != nil {
 			tr.Deliver(p.id, env.from, kind, arrival, cfg.WireBytes(env.bytes))
 		}
@@ -1179,8 +1220,8 @@ func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc)
 
 	arriveAt := p.Clock()
 	if p.id != 0 {
-		// Arrival message to the manager.
-		arriveAt += cfg.LatencyUS + cfg.XferUS(bytes)
+		// Arrival message to the manager, priced on the p.id -> 0 link.
+		arriveAt += p.c.LinkLatencyUS(p.id, 0) + p.c.LinkXferUS(p.id, 0, bytes)
 		p.c.Stats.CountP(p.id, "barrier", cfg.Frags(bytes), cfg.WireBytes(bytes))
 	}
 
@@ -1209,7 +1250,11 @@ func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc)
 		if combine != nil {
 			replies, rbytes, combineUS = combine(append([]any(nil), b.contrib...))
 		}
-		release := last + float64(n)*cfg.BarrierMgrUS + combineUS
+		// Manager bookkeeping and the combine both run on proc 0's CPU,
+		// so both scale with its speed factor (a factor of exactly 1.0
+		// keeps every term bit-identical to the unperturbed model).
+		mgrf := c.procs[0].cpuf
+		release := last + float64(n)*cfg.BarrierMgrUS*mgrf + combineUS*mgrf
 		b.replies = replies
 		b.release = release
 		for i := 1; i < n; i++ {
@@ -1251,7 +1296,8 @@ func (p *Proc) BarrierExchange(id int, data any, bytes int, combine CombineFunc)
 
 	depart := release
 	if p.id != 0 {
-		depart += cfg.LatencyUS + cfg.XferUS(rb)
+		// Release message back from the manager, on the 0 -> p.id link.
+		depart += c.LinkLatencyUS(0, p.id) + c.LinkXferUS(0, p.id, rb)
 	}
 	if tr := c.trace; tr != nil {
 		tr.Barrier(p.id, id, arriveAt, depart)

@@ -160,6 +160,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{addr}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{addr}/render", s.handleRender)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
+	// Unprefixed aliases, kept for one release so pre-/v1/ clients keep
+	// working while they migrate.
+	s.mux.HandleFunc("POST /runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /runs/{addr}", s.handleStatus)
+	s.mux.HandleFunc("GET /runs/{addr}/render", s.handleRender)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
 	s.mux.Handle("GET /metrics", obs.Handler(obs.Default()))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -177,6 +184,22 @@ func New(cfg Config) *Server {
 // ServeHTTP dispatches to the service's routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// versionInfo is the GET /v1/version payload: the HTTP API version and
+// the runrequest canonical-encoding versions this server accepts —
+// what a multi-node fan-out layer needs to know before routing a
+// perturbed (v2-encoded) request at a replica.
+type versionInfo struct {
+	API                string `json:"api"`
+	RunRequestVersions []int  `json:"runrequest_versions"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, versionInfo{
+		API:                "v1",
+		RunRequestVersions: []int{bench.RequestVersion, bench.RequestVersionPerturb},
+	})
 }
 
 // Executed returns how many backend runs the server has launched —

@@ -418,3 +418,96 @@ func TestFailedRunReported(t *testing.T) {
 		t.Errorf("retry: %d %s", code, body)
 	}
 }
+
+// TestVersionEndpoint checks GET /v1/version (and its unprefixed
+// alias): the negotiation surface a client reads before choosing a
+// request encoding, reporting the API generation and both accepted
+// runrequest schema versions.
+func TestVersionEndpoint(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, path := range []string{"/v1/version", "/version"} {
+		code, body, hdr := get(t, ts, path)
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d %s", path, code, body)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s content type = %q", path, ct)
+		}
+		var v versionInfo
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("%s: decoding %q: %v", path, body, err)
+		}
+		if v.API != "v1" {
+			t.Errorf("%s: api = %q, want v1", path, v.API)
+		}
+		want := []int{bench.RequestVersion, bench.RequestVersionPerturb}
+		if len(v.RunRequestVersions) != 2 || v.RunRequestVersions[0] != want[0] || v.RunRequestVersions[1] != want[1] {
+			t.Errorf("%s: runrequest_versions = %v, want %v", path, v.RunRequestVersions, want)
+		}
+	}
+}
+
+// TestUnprefixedAliases checks the one-release compatibility routes:
+// the pre-/v1/ paths serve the same bytes as their versioned
+// counterparts, so existing clients keep working for one release
+// while they migrate.
+func TestUnprefixedAliases(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := post(t, ts, "/runs?wait=1", taskqSpec)
+	if code != http.StatusOK {
+		t.Fatalf("unprefixed submit: %d %s", code, body)
+	}
+	st := decodeStatus(t, body)
+	if st.Status != "done" || st.Result == nil {
+		t.Fatalf("unprefixed submit envelope: %+v", st)
+	}
+
+	for _, suffix := range []string{"", "/render?view=app"} {
+		codeV1, bodyV1, _ := get(t, ts, "/v1/runs/"+st.Address+suffix)
+		codeAlias, bodyAlias, _ := get(t, ts, "/runs/"+st.Address+suffix)
+		if codeV1 != http.StatusOK || codeAlias != codeV1 {
+			t.Fatalf("suffix %q: v1 = %d, alias = %d", suffix, codeV1, codeAlias)
+		}
+		if !bytes.Equal(bodyV1, bodyAlias) {
+			t.Errorf("suffix %q: alias serves different bytes than /v1", suffix)
+		}
+	}
+}
+
+// TestPerturbedRunOverHTTP submits a runrequest/v2-encoding scenario —
+// a 30% straggler — end to end: the service must run it, cache it
+// under its v2 content address, and keep it distinct from the
+// unperturbed run of the same workload.
+func TestPerturbedRunOverHTTP(t *testing.T) {
+	perturbed := taskqSpec + "machine:\n  perturb:\n    cpu: [1.3]\n"
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := post(t, ts, "/v1/runs?wait=1", taskqSpec)
+	if code != http.StatusOK {
+		t.Fatalf("baseline submit: %d %s", code, body)
+	}
+	base := decodeStatus(t, body)
+
+	code, body = post(t, ts, "/v1/runs?wait=1", perturbed)
+	if code != http.StatusOK {
+		t.Fatalf("perturbed submit: %d %s", code, body)
+	}
+	pert := decodeStatus(t, body)
+	if pert.Status != "done" || pert.Result == nil {
+		t.Fatalf("perturbed envelope: %+v", pert)
+	}
+	if pert.Address == base.Address {
+		t.Error("perturbed run shares a content address with the baseline")
+	}
+	if srv.Executed() != 2 {
+		t.Errorf("executed = %d, want 2 (distinct addresses, distinct runs)", srv.Executed())
+	}
+}

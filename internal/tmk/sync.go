@@ -184,8 +184,10 @@ func (n *Node) AcquireLock(id int) {
 	n.ensureSeen()
 	cfg := n.proc.Config()
 	d := n.d
+	cl := n.proc.Cluster()
+	mgr := id % cfg.Procs // static manager assignment
 
-	reqArrive := n.proc.Clock() + cfg.LatencyUS
+	reqArrive := n.proc.Clock() + cl.LinkLatencyUS(n.proc.ID(), mgr)
 	var nts []*Notice
 	var bytes int
 	grantFree := n.proc.AcquireResource(id, reqArrive, func() {
@@ -199,7 +201,7 @@ func (n *Node) AcquireLock(id int) {
 	if grantFree > grantAt {
 		grantAt = grantFree
 	}
-	grantAt += cfg.InterruptUS // manager handling
+	grantAt += cfg.InterruptUS * cl.CPUFactor(mgr) // manager handling, at the manager's speed
 
 	reqB := 4 * len(n.seen) // request carries the per-writer watermark
 	d.cluster.Stats.CountP(n.proc.ID(), "tmk.lock",
@@ -208,7 +210,7 @@ func (n *Node) AcquireLock(id int) {
 	// Trace annotation: the consistency freight this grant carried (the
 	// write notices the acquirer lacked), at the grant instant.
 	n.proc.TraceMark("tmk.notices", grantAt, int64(bytes))
-	n.proc.AdvanceTo(grantAt + cfg.LatencyUS + cfg.XferUS(bytes))
+	n.proc.AdvanceTo(grantAt + cl.LinkLatencyUS(mgr, n.proc.ID()) + cl.LinkXferUS(mgr, n.proc.ID(), bytes))
 
 	n.applyNotices(nts)
 	for _, nt := range nts {
@@ -248,6 +250,7 @@ func (n *Node) ReleaseLock(id int) {
 	n.newNotices = nil
 
 	d.cluster.Stats.CountP(n.proc.ID(), "tmk.lock", cfg.Frags(bytes), cfg.WireBytes(bytes))
-	freeAt := n.proc.Clock() + cfg.LatencyUS
+	// The release notification travels to the lock's static manager.
+	freeAt := n.proc.Clock() + n.proc.Cluster().LinkLatencyUS(n.proc.ID(), id%cfg.Procs)
 	n.proc.ReleaseResource(id, freeAt)
 }
